@@ -1,0 +1,54 @@
+"""Benchmark harness configuration.
+
+Each benchmark runs one experiment driver exactly once (``pedantic`` with
+a single round — an experiment is minutes of simulated traffic, not a
+microbenchmark), prints the regenerated table/figure rows, writes them to
+``benchmark_results/``, and asserts the paper's qualitative shape.
+
+Scale defaults to ``tiny`` so the suite completes quickly; set
+``REPRO_SCALE=small`` (the paper-shaped default) or ``full`` for the real
+runs recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent / "benchmark_results"
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return os.environ.get("REPRO_SCALE", "tiny")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def run_experiment_once(benchmark, scale, results_dir):
+    """Run a driver once under pytest-benchmark and record its table."""
+
+    def _run(exp_id: str, seed: int = 0):
+        from repro.experiments.registry import run_experiment
+
+        result = benchmark.pedantic(
+            run_experiment,
+            args=(exp_id,),
+            kwargs={"scale": scale, "seed": seed},
+            rounds=1,
+            iterations=1,
+        )
+        text = result.render()
+        print()
+        print(text)
+        (results_dir / f"{exp_id}.txt").write_text(text + "\n")
+        return result
+
+    return _run

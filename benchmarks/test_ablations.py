@@ -1,0 +1,53 @@
+"""Benchmarks: the design-choice ablations DESIGN.md calls out."""
+
+import pytest
+
+
+def test_ablate_tps_axis(run_experiment_once):
+    result = run_experiment_once("ablate_tps_axis")
+    by_axis = {r["linear dim"]: r["TPS % of peak"] for r in result.rows}
+    chosen = next(
+        r["linear dim"] for r in result.rows if r["rule's choice"] == "<--"
+    )
+    # The selection rule's pick is at worst a few points off the best axis.
+    assert by_axis[chosen] >= max(by_axis.values()) - 8.0
+
+
+def test_ablate_tps_pipelining(run_experiment_once):
+    result = run_experiment_once("ablate_tps_pipelining")
+    reserved = result.row_by("variant", "reserved FIFOs (paper)")
+    shared = result.row_by("variant", "shared FIFOs")
+    # Reserving FIFO groups per phase must not hurt; the paper relies on
+    # it to overlap the phases.
+    assert reserved["TPS % of peak"] >= shared["TPS % of peak"] * 0.95
+
+
+@pytest.mark.xfail(
+    strict=False,
+    reason="known deviation, see test_fig4_dr_prefers_x_longest and "
+    "EXPERIMENTS.md.",
+)
+def test_ablate_dr_axis(run_experiment_once):
+    result = run_experiment_once("ablate_dr_axis")
+    by_partition = {r["partition"]: r["DR % of peak"] for r in result.rows}
+    # Section 3.2: DR performs best when X is the longest dimension.
+    assert by_partition["16x8x8"] >= by_partition["8x16x8"]
+    assert by_partition["16x8x8"] >= by_partition["8x8x16"]
+
+
+def test_ablate_vmesh_factors(run_experiment_once):
+    result = run_experiment_once("ablate_vmesh_factors")
+    times = [r["time us"] for r in result.rows]
+    # The balanced (last) factorization beats the degenerate Px1 (first).
+    assert times[-1] < times[0]
+
+
+def test_ablate_credit_overhead(run_experiment_once):
+    result = run_experiment_once("ablate_credit_overhead")
+    plain = result.row_by("packets/credit", "none")
+    ten = result.row_by("packets/credit", 10)
+    # Section 5: ~1% predicted bandwidth overhead at 10 packets/credit,
+    # and the measured slowdown stays small.
+    assert ten["predicted bw overhead %"] < 2.0
+    assert ten["time vs plain TPS %"] < 115.0
+    assert plain["time vs plain TPS %"] == 100.0

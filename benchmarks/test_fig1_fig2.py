@@ -1,0 +1,22 @@
+"""Benchmarks: regenerate Figures 1 and 2 (AR throughput vs m, with the
+Eq. 3 prediction)."""
+
+
+def test_fig1_ar_midplane(run_experiment_once):
+    result = run_experiment_once("fig1_ar_midplane")
+    pcts = result.column("% of peak")
+    # Throughput rises with message size (alpha amortizes away).
+    assert pcts[-1] > pcts[0]
+    # The model tracks the measurement within a factor of 2 everywhere.
+    for row in result.rows:
+        ratio = row["measured us"] / row["Eq.3 us"]
+        assert 0.5 < ratio < 3.0, row
+
+
+def test_fig2_ar_4096(run_experiment_once):
+    result = run_experiment_once("fig2_ar_4096")
+    eq3 = result.column("Eq.3 % of peak")
+    # Model efficiency is monotone in m and approaches peak (the tiny
+    # scale stops at m=464 B where Eq. 3 predicts ~83%).
+    assert all(b >= a for a, b in zip(eq3, eq3[1:]))
+    assert eq3[-1] > 80.0

@@ -1,0 +1,43 @@
+"""Benchmarks: regenerate Figure 3 (per-node throughput vs partition) and
+Figure 4 (direct strategies compared)."""
+
+import pytest
+
+
+def test_fig3_throughput(run_experiment_once):
+    result = run_experiment_once("fig3_throughput")
+    for row in result.rows:
+        # Measured throughput never exceeds the bisection bound.
+        assert row["large-m MB/s/node"] <= row["peak MB/s/node"] * 1.01
+        # Figure 3's claim: one packet already gets most of the
+        # large-message throughput.
+        assert row["1-packet MB/s/node"] > 0.4 * row["large-m MB/s/node"]
+
+
+def test_fig4_direct(run_experiment_once):
+    result = run_experiment_once("fig4_direct")
+    sym = result.row_by("partition", "8x8x8")
+    # DR loses to AR on the symmetric torus (head-of-line blocking).
+    assert sym["DR %"] < sym["AR %"]
+    # Throttling never collapses performance (the paper saw a 2-3% gain;
+    # our more congestion-prone router gains more on asymmetric shapes -
+    # a documented deviation, see EXPERIMENTS.md).
+    for row in result.rows:
+        assert row["AR-throttle %"] > row["AR %"] - 10.0
+
+
+@pytest.mark.xfail(
+    strict=False,
+    reason="known deviation: the paper measured DR best when X is the "
+    "longest dimension (every DR packet injects on an X link); our "
+    "packet-granularity bubble-ring model instead gridlocks the heavily "
+    "injected X rings at scaled sizes.  Recorded in EXPERIMENTS.md.",
+)
+def test_fig4_dr_prefers_x_longest(run_experiment_once, scale):
+    result = run_experiment_once("fig4_direct")
+    x_row = result.row_by("partition", "16x8x8")
+    z_row = result.row_by("partition", "8x8x16")
+    assert x_row["DR %"] > z_row["DR %"]
+    if scale != "tiny":
+        y_row = result.row_by("partition", "8x16x8")
+        assert x_row["DR %"] > y_row["DR %"]

@@ -1,0 +1,35 @@
+"""Benchmarks: regenerate Figures 5-7 (the short-message VMesh story)."""
+
+from repro.experiments.paperdata import VMESH_CROSSOVER_RANGE_BYTES
+
+
+def test_fig5_vmesh_prediction(run_experiment_once):
+    result = run_experiment_once("fig5_vmesh_pred")
+    # Model crossover: VMesh wins at 8 B, loses by 128 B.
+    r8 = result.row_by("m bytes", 8)
+    r128 = result.row_by("m bytes", 128)
+    assert r8["VMesh pred us"] < r8["Eq.3 direct us"]
+    assert r128["VMesh pred us"] > r128["Eq.3 direct us"]
+
+
+def test_fig6_compare_512(run_experiment_once):
+    result = run_experiment_once("fig6_compare_512")
+    speedups = {r["m bytes"]: r["VMesh speedup"] for r in result.rows}
+    smallest = min(speedups)
+    largest = max(speedups)
+    # VMesh clearly wins at the smallest size and loses at the largest.
+    assert speedups[smallest] > 1.2
+    assert speedups[largest] < 1.0
+    # Crossover within (or adjacent to) the paper's 32-64 B window.
+    lo, hi = VMESH_CROSSOVER_RANGE_BYTES
+    crossed = [m for m in sorted(speedups) if speedups[m] <= 1.0]
+    assert crossed, "VMesh never crossed below AR"
+    assert crossed[0] <= 4 * hi
+
+
+def test_fig7_compare_4096(run_experiment_once):
+    result = run_experiment_once("fig7_compare_4096")
+    r8 = result.row_by("m bytes", 8)
+    # At 8 B the combining scheme beats both AR and TPS.
+    assert r8["VMesh/AR speedup"] > 1.2
+    assert r8["VMesh/TPS speedup"] > 1.0

@@ -1,0 +1,14 @@
+"""Benchmark: the scaling-study extension (efficiency vs machine size)."""
+
+
+def test_scaling_study(run_experiment_once):
+    result = run_experiment_once("scaling_study")
+    rows = result.rows
+    assert len(rows) >= 2
+    # The model's CPU/network balance falls as the machine grows
+    # (Section 2: processing demand ~ 1/average hops).
+    balances = result.column("cpu/net balance")
+    assert balances[-1] < balances[0]
+    # TPS's advantage over AR grows with the asymmetric dimension.
+    gaps = [r["TPS % of peak"] - r["AR % of peak"] for r in rows]
+    assert gaps[-1] > gaps[0]

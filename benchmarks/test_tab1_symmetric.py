@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table 1 (AR on symmetric partitions)."""
+
+
+def test_tab1_symmetric(run_experiment_once):
+    result = run_experiment_once("tab1_symmetric")
+    pcts = result.column("AR % of peak")
+    # Qualitative shape: symmetric partitions are uniformly efficient -
+    # no partition collapses relative to the best one.
+    assert min(pcts) > 0.6 * max(pcts)
+    # And all are meaningfully above the heavily-contended regime.
+    assert all(p > 40.0 for p in pcts)

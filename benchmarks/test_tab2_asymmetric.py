@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table 2 (AR on asymmetric partitions).
+
+The paper's shape: every asymmetric partition runs below the symmetric
+baseline of Table 1, with the strongly elongated tori losing the most.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_tab2_asymmetric(run_experiment_once, scale):
+    result = run_experiment_once("tab2_asymmetric")
+    tab1 = run_experiment("tab1_symmetric", scale=scale)
+    sym_best = max(tab1.column("AR % of peak"))
+    for row in result.rows:
+        # Asymmetric partitions do not beat the symmetric baseline.
+        assert row["AR % of peak"] <= sym_best * 1.05, row["partition"]

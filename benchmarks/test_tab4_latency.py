@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table 4 (1-byte latency, TPS vs AR).
+
+Paper shape: on small symmetric partitions the extra forwarding hop makes
+TPS slower than AR for 1 B messages.
+"""
+
+
+def test_tab4_latency(run_experiment_once):
+    result = run_experiment_once("tab4_latency")
+    small = result.row_by("partition", "8x8x8")
+    assert small["TPS ms"] > small["AR ms"]
+    for row in result.rows:
+        assert row["TPS ms"] > 0 and row["AR ms"] > 0

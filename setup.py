@@ -1,0 +1,7 @@
+"""Setup shim: lets ``pip install -e .`` work offline (no wheel package
+available for PEP-517 editable builds); all metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

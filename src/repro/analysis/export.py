@@ -1,0 +1,44 @@
+"""CSV export of experiment results (for external plotting).
+
+Every :class:`~repro.experiments.common.ExperimentResult` can be written
+as a CSV whose columns match the rendered table; figures in the paper are
+then one ``plot(x, y)`` away in any tool.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import TYPE_CHECKING, Union
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.common import ExperimentResult
+
+
+def to_csv_text(result: "ExperimentResult") -> str:
+    """Render a result's rows as CSV text (header = columns)."""
+    buf = io.StringIO()
+    writer = csv.DictWriter(
+        buf, fieldnames=result.columns, extrasaction="ignore"
+    )
+    writer.writeheader()
+    for row in result.rows:
+        writer.writerow({c: row.get(c, "") for c in result.columns})
+    return buf.getvalue()
+
+
+def write_csv(result: "ExperimentResult", path: Union[str, Path]) -> Path:
+    """Write a result to *path* (parent directories created)."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(to_csv_text(result))
+    return p
+
+
+def export_all(results, directory: Union[str, Path]) -> list[Path]:
+    """Write every result in *results* to ``<directory>/<exp_id>.csv``."""
+    out = []
+    for r in results:
+        out.append(write_csv(r, Path(directory) / f"{r.exp_id}.csv"))
+    return out

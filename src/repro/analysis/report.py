@@ -1,0 +1,59 @@
+"""Plain-text rendering of experiment tables and figure series.
+
+The experiment drivers return structured rows; these helpers format them
+the way the benchmark harness and the CLI print them — fixed-width ASCII
+tables that mirror the paper's tables, plus simple aligned series for the
+figures.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def render_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Mapping[str, object]],
+    notes: Sequence[str] = (),
+) -> str:
+    """Render rows (dicts keyed by column name) as an ASCII table."""
+    def fmt(v: object) -> str:
+        if v is None:
+            return "-"
+        if isinstance(v, float):
+            return f"{v:.1f}" if abs(v) >= 0.1 else f"{v:.3g}"
+        return str(v)
+
+    cells = [[fmt(r.get(c)) for c in columns] for r in rows]
+    widths = [
+        max(len(c), *(len(row[i]) for row in cells)) if cells else len(c)
+        for i, c in enumerate(columns)
+    ]
+    sep = "+".join("-" * (w + 2) for w in widths)
+    out = [title, sep]
+    out.append(" | ".join(c.ljust(w) for c, w in zip(columns, widths)))
+    out.append(sep)
+    for row in cells:
+        out.append(" | ".join(v.rjust(w) for v, w in zip(row, widths)))
+    out.append(sep)
+    for n in notes:
+        out.append(f"  note: {n}")
+    return "\n".join(out)
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    xs: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+) -> str:
+    """Render one or more aligned y-series against a shared x axis."""
+    columns = [x_label] + list(series.keys())
+    rows = []
+    for i, x in enumerate(xs):
+        row: dict[str, object] = {x_label: x}
+        for name, ys in series.items():
+            row[name] = ys[i] if i < len(ys) else None
+        rows.append(row)
+    return render_table(title, columns, rows)

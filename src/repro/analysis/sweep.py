@@ -1,0 +1,65 @@
+"""Parameter sweeps: message-size series for the paper's figures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.api import AllToAllRun, simulate_alltoall
+from repro.model.machine import MachineParams
+from repro.model.torus import TorusShape
+from repro.net.config import NetworkConfig
+from repro.strategies.base import AllToAllStrategy
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (message size, strategy) measurement."""
+
+    m_bytes: int
+    run: AllToAllRun
+
+    @property
+    def time_us(self) -> float:
+        return self.run.time_us
+
+    @property
+    def percent_of_peak(self) -> float:
+        return self.run.percent_of_peak
+
+    @property
+    def per_node_mb_per_s(self) -> float:
+        return self.run.per_node_mb_per_s
+
+
+def message_size_sweep(
+    strategy: AllToAllStrategy,
+    shape: TorusShape,
+    sizes: Sequence[int],
+    params: Optional[MachineParams] = None,
+    config: Optional[NetworkConfig] = None,
+    seed: int = 0,
+) -> list[SweepPoint]:
+    """Simulate the all-to-all at every message size in *sizes*."""
+    return [
+        SweepPoint(m, simulate_alltoall(strategy, shape, m, params, config, seed))
+        for m in sizes
+    ]
+
+
+def geometric_sizes(lo: int, hi: int, per_decade: int = 4) -> list[int]:
+    """Roughly geometric message sizes from *lo* to *hi* inclusive."""
+    sizes = []
+    m = float(lo)
+    ratio = 10 ** (1.0 / per_decade)
+    while m < hi:
+        sizes.append(int(round(m)))
+        m *= ratio
+    sizes.append(hi)
+    # Deduplicate while preserving order.
+    out, seen = [], set()
+    for s in sizes:
+        if s not in seen:
+            out.append(s)
+            seen.add(s)
+    return out

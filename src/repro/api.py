@@ -1,0 +1,109 @@
+"""High-level entry points: simulate or predict one all-to-all.
+
+These wrap strategy + simulator + metric computation into a single call and
+are what the examples, experiments and most tests use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.model.alltoall import peak_time_cycles, percent_of_peak
+from repro.model.machine import MachineParams
+from repro.model.torus import TorusShape
+from repro.net.config import NetworkConfig
+from repro.net.simulator import TorusNetwork
+from repro.net.trace import SimulationResult
+from repro.util.units import cycles_to_ms, cycles_to_us
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.strategies.base import AllToAllStrategy
+
+
+@dataclass(frozen=True)
+class AllToAllRun:
+    """Outcome of one simulated all-to-all."""
+
+    strategy: str
+    shape: TorusShape
+    msg_bytes: int
+    params: MachineParams
+    result: SimulationResult
+    predicted_cycles: float
+
+    @property
+    def time_cycles(self) -> float:
+        """Measured completion time (last final delivery), cycles."""
+        return self.result.time_cycles
+
+    @property
+    def time_us(self) -> float:
+        """Measured completion time, microseconds."""
+        return cycles_to_us(self.time_cycles)
+
+    @property
+    def time_ms(self) -> float:
+        """Measured completion time, milliseconds."""
+        return cycles_to_ms(self.time_cycles)
+
+    @property
+    def peak_cycles(self) -> float:
+        """Eq. 2 peak time for this shape and message size."""
+        return peak_time_cycles(self.shape, self.msg_bytes, self.params)
+
+    @property
+    def percent_of_peak(self) -> float:
+        """Percent of the Eq. 2 peak achieved (the tables' metric)."""
+        return percent_of_peak(
+            self.shape, self.msg_bytes, self.time_cycles, self.params
+        )
+
+    @property
+    def per_node_bytes_per_cycle(self) -> float:
+        """Per-node payload bandwidth sourced during the run."""
+        return self.shape.nnodes * self.msg_bytes / self.time_cycles
+
+    @property
+    def per_node_mb_per_s(self) -> float:
+        """Per-node payload bandwidth in MB/s (Figure 3's unit)."""
+        from repro.util.units import CLOCK_HZ
+
+        return self.per_node_bytes_per_cycle * CLOCK_HZ / 1e6
+
+
+def simulate_alltoall(
+    strategy: "AllToAllStrategy",
+    shape: TorusShape,
+    msg_bytes: int,
+    params: Optional[MachineParams] = None,
+    config: Optional[NetworkConfig] = None,
+    seed: int = 0,
+) -> AllToAllRun:
+    """Simulate one all-to-all of *msg_bytes* per rank pair under
+    *strategy* on *shape* and return the measured run."""
+    params = params or MachineParams.bluegene_l()
+    program = strategy.build_program(shape, msg_bytes, params, seed)
+    net = TorusNetwork(shape, params, config)
+    if strategy.fifo_groups > 1:
+        net.set_fifo_groups(strategy.fifo_groups)
+    result = net.run(program)
+    return AllToAllRun(
+        strategy=strategy.name,
+        shape=shape,
+        msg_bytes=msg_bytes,
+        params=params,
+        result=result,
+        predicted_cycles=strategy.predict_cycles(shape, msg_bytes, params),
+    )
+
+
+def predict_alltoall(
+    strategy: "AllToAllStrategy",
+    shape: TorusShape,
+    msg_bytes: int,
+    params: Optional[MachineParams] = None,
+) -> float:
+    """Analytic prediction (cycles) without running the simulator."""
+    params = params or MachineParams.bluegene_l()
+    return strategy.predict_cycles(shape, msg_bytes, params)

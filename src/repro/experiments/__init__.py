@@ -1,0 +1,5 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+See :mod:`repro.experiments.registry` for the id -> driver map and
+EXPERIMENTS.md for the paper-vs-measured record.
+"""

@@ -1,0 +1,178 @@
+"""Ablations of the design choices the paper calls out.
+
+* TPS linear-dimension choice (Section 4.1's selection rule vs forcing
+  each axis) — the rule's pick should be (near-)best.
+* TPS with vs without reserved injection-FIFO groups — removing the
+  reservation serializes phase-2 packets behind phase-1 packets.
+* DR sensitivity to which axis is longest (Section 3.2: X-longest wins).
+* VMesh row/column factorization (balanced ~square is best).
+* Credit-based flow control: credit-period sweep vs bandwidth overhead
+  (Section 5 predicts ~1 % at one 32 B credit per ten 256 B packets).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.api import simulate_alltoall
+from repro.experiments.common import (
+    ExperimentResult,
+    LARGE_MESSAGE_BYTES,
+    default_params,
+    resolve_scale,
+    shape_for_scale,
+)
+from repro.experiments.paperdata import AXIS_NAMES
+from repro.model.torus import TorusShape
+from repro.strategies import DRDirect, TwoPhaseSchedule, VirtualMesh2D
+from repro.strategies.flowcontrol import CreditedTPS
+
+
+def tps_linear_axis(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
+    """Force each axis as TPS's linear dimension on the 8x32x16 shape."""
+    scale = resolve_scale(scale)
+    params = default_params()
+    shape, tier = shape_for_scale(TorusShape.parse("8x32x16"), scale)
+    m = LARGE_MESSAGE_BYTES[scale]
+    result = ExperimentResult(
+        exp_id="ablate_tps_axis",
+        title=f"Ablation: TPS phase-1 dimension on {shape.label} (tier {tier})",
+        columns=["linear dim", "TPS % of peak", "rule's choice"],
+    )
+    from repro.strategies.tps import choose_linear_axis
+
+    chosen = choose_linear_axis(shape)
+    for axis in range(shape.ndim):
+        run = simulate_alltoall(
+            TwoPhaseSchedule(linear_axis=axis), shape, m, params, seed=seed
+        )
+        result.rows.append(
+            {
+                "linear dim": AXIS_NAMES[axis],
+                "TPS % of peak": run.percent_of_peak,
+                "rule's choice": "<--" if axis == chosen else "",
+            }
+        )
+    return result
+
+
+def tps_pipelining(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
+    """Reserved-FIFO pipelining on vs off."""
+    scale = resolve_scale(scale)
+    params = default_params()
+    shape, tier = shape_for_scale(TorusShape.parse("8x8x16"), scale)
+    m = LARGE_MESSAGE_BYTES[scale]
+    result = ExperimentResult(
+        exp_id="ablate_tps_pipelining",
+        title=f"Ablation: TPS reserved-FIFO pipelining on {shape.label}",
+        columns=["variant", "TPS % of peak"],
+    )
+    for name, pipelined in (("reserved FIFOs (paper)", True), ("shared FIFOs", False)):
+        run = simulate_alltoall(
+            TwoPhaseSchedule(pipelined=pipelined), shape, m, params, seed=seed
+        )
+        result.rows.append({"variant": name, "TPS % of peak": run.percent_of_peak})
+    return result
+
+
+def dr_longest_axis(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
+    """DR on the three rotations of 2n x n x n (Section 3.2)."""
+    scale = resolve_scale(scale)
+    params = default_params()
+    m = LARGE_MESSAGE_BYTES[scale]
+    result = ExperimentResult(
+        exp_id="ablate_dr_axis",
+        title="Ablation: DR vs which dimension is longest (2n x n x n)",
+        columns=["partition", "simulated", "DR % of peak"],
+    )
+    for lbl in ("16x8x8", "8x16x8", "8x8x16"):
+        shape, _ = shape_for_scale(TorusShape.parse(lbl), scale)
+        run = simulate_alltoall(DRDirect(), shape, m, params, seed=seed)
+        result.rows.append(
+            {
+                "partition": lbl,
+                "simulated": shape.label,
+                "DR % of peak": run.percent_of_peak,
+            }
+        )
+    return result
+
+
+def vmesh_factorization(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
+    """Square vs skewed virtual-mesh factorizations (Section 4.2 says keep
+    rows and columns about the same)."""
+    scale = resolve_scale(scale)
+    params = default_params()
+    shape = TorusShape.parse("4x4x4" if scale == "tiny" else "8x8x8")
+    p = shape.nnodes
+    factorizations = []
+    pv = 1
+    while pv * pv <= p:
+        if p % pv == 0:
+            factorizations.append((p // pv, pv))
+        pv *= 2
+    m = 8
+    result = ExperimentResult(
+        exp_id="ablate_vmesh_factors",
+        title=f"Ablation: VMesh factorization on {shape.label}, m={m} B",
+        columns=["pvx x pvy", "time us", "alpha messages"],
+    )
+    for pvx, pvy in factorizations:
+        run = simulate_alltoall(
+            VirtualMesh2D(pvx=pvx, pvy=pvy), shape, m, params, seed=seed
+        )
+        result.rows.append(
+            {
+                "pvx x pvy": f"{pvx}x{pvy}",
+                "time us": run.time_us,
+                "alpha messages": pvx + pvy,
+            }
+        )
+    return result
+
+
+def credit_overhead(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
+    """Credit-period sweep: measured slowdown vs plain TPS, and the
+    paper's predicted ~1 % bandwidth overhead at 10 packets/credit."""
+    scale = resolve_scale(scale)
+    params = default_params()
+    shape, tier = shape_for_scale(TorusShape.parse("8x8x16"), scale)
+    m = LARGE_MESSAGE_BYTES[scale]
+    base = simulate_alltoall(TwoPhaseSchedule(), shape, m, params, seed=seed)
+    result = ExperimentResult(
+        exp_id="ablate_credit_overhead",
+        title=f"Ablation: credit flow control overhead on {shape.label}",
+        columns=[
+            "packets/credit",
+            "window",
+            "time vs plain TPS %",
+            "predicted bw overhead %",
+            "peak fwd backlog",
+        ],
+    )
+    result.rows.append(
+        {
+            "packets/credit": "none",
+            "window": "inf",
+            "time vs plain TPS %": 100.0,
+            "predicted bw overhead %": 0.0,
+            "peak fwd backlog": base.result.peak_forward_backlog,
+        }
+    )
+    for k, window in ((2, 8), (5, 16), (10, 32)):
+        strat = CreditedTPS(window=window, packets_per_credit=k)
+        run = simulate_alltoall(strat, shape, m, params, seed=seed)
+        result.rows.append(
+            {
+                "packets/credit": k,
+                "window": window,
+                "time vs plain TPS %": 100.0 * run.time_cycles / base.time_cycles,
+                "predicted bw overhead %": 100.0
+                * strat.credit_bandwidth_overhead(params),
+                "peak fwd backlog": run.result.peak_forward_backlog,
+            }
+        )
+    result.notes.append(
+        "Section 5: one 32 B credit per ten 256 B packets ~ 1% overhead."
+    )
+    return result

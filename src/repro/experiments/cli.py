@@ -1,0 +1,48 @@
+"""Command-line entry point: ``bgl-alltoall``.
+
+Run paper experiments and ablations from the shell::
+
+    bgl-alltoall list
+    bgl-alltoall run tab3_tps --scale small
+    bgl-alltoall run all --scale tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import ALL, EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bgl-alltoall",
+        description="Reproduce the BG/L all-to-all paper's tables/figures.",
+    )
+    sub = parser.add_subparsers(dest="cmd", required=True)
+    sub.add_parser("list", help="list experiment ids")
+    runp = sub.add_parser("run", help="run one experiment (or 'all')")
+    runp.add_argument("exp_id", help="experiment id, or 'all'")
+    runp.add_argument("--scale", default=None, choices=["tiny", "small", "full"])
+    runp.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if args.cmd == "list":
+        for eid in ALL:
+            kind = "paper" if eid in EXPERIMENTS else "ablation"
+            print(f"{eid:24s} [{kind}]")
+        return 0
+
+    ids = list(ALL) if args.exp_id == "all" else [args.exp_id]
+    for eid in ids:
+        t0 = time.time()
+        result = run_experiment(eid, scale=args.scale, seed=args.seed)
+        print(result.render())
+        print(f"  ({time.time() - t0:.1f}s)\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,103 @@
+"""Shared infrastructure for the per-table/figure experiment drivers.
+
+Every driver is a function ``run(scale="small", seed=0) -> ExperimentResult``.
+The *scale* controls fidelity (see DESIGN.md section 5):
+
+* ``"tiny"``  — CI-sized: partitions <= ~128 nodes, shortest sweeps.
+* ``"small"`` — default benchmark size: partitions <= ~512 nodes; the
+  paper's larger partitions run shape-scaled (Tier B).
+* ``"full"``  — partitions up to ~2048 nodes simulated directly; beyond
+  that still Tier B + the analytic model (Tier C).
+
+Tiers are reported per row: ``A`` full-scale DES, ``B`` shape-scaled DES,
+``C`` analytic model only.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.report import render_table
+from repro.model.machine import MachineParams
+from repro.model.torus import TorusShape
+from repro.util.validation import require
+
+SCALES = ("tiny", "small", "full")
+
+#: Largest partition each scale simulates directly (Tier A).
+MAX_DES_NODES = {"tiny": 128, "small": 1024, "full": 2304}
+
+#: "Large message" size used for the steady-state tables at each scale.
+LARGE_MESSAGE_BYTES = {"tiny": 464, "small": 464, "full": 976}
+
+
+def resolve_scale(scale: Optional[str]) -> str:
+    """Resolve a scale name, honoring the REPRO_SCALE env override."""
+    s = scale or os.environ.get("REPRO_SCALE", "small")
+    require(s in SCALES, f"scale must be one of {SCALES}, got {s!r}")
+    return s
+
+
+def scale_shape(shape: TorusShape, max_nodes: int) -> tuple[TorusShape, int]:
+    """Shape-preserving reduction: halve every dimension until the node
+    count fits *max_nodes* (dimensions floor at 2).  Returns the reduced
+    shape and the divisor applied."""
+    divisor = 1
+    dims = list(shape.dims)
+    while True:
+        p = 1
+        for d in dims:
+            p *= d
+        if p <= max_nodes:
+            break
+        if all(d <= 2 for d in dims):
+            break
+        dims = [max(2, d // 2) for d in dims]
+        divisor *= 2
+    return TorusShape(tuple(dims), shape.torus), divisor
+
+
+def shape_for_scale(
+    paper_shape: TorusShape, scale: str
+) -> tuple[TorusShape, str]:
+    """The shape actually simulated at *scale* and its tier label."""
+    limit = MAX_DES_NODES[scale]
+    if paper_shape.nnodes <= limit:
+        return paper_shape, "A"
+    reduced, _ = scale_shape(paper_shape, limit)
+    return reduced, "B"
+
+
+@dataclass
+class ExperimentResult:
+    """Structured output of one experiment driver."""
+
+    exp_id: str
+    title: str
+    columns: list[str]
+    rows: list[dict] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """ASCII rendering (what the benchmarks and the CLI print)."""
+        return render_table(
+            f"[{self.exp_id}] {self.title}", self.columns, self.rows, self.notes
+        )
+
+    def column(self, name: str) -> list:
+        """All values of one column, in row order."""
+        return [r.get(name) for r in self.rows]
+
+    def row_by(self, key_col: str, key: object) -> dict:
+        """First row whose *key_col* equals *key*."""
+        for r in self.rows:
+            if r.get(key_col) == key:
+                return r
+        raise KeyError(f"no row with {key_col}={key!r}")
+
+
+def default_params() -> MachineParams:
+    """The paper's machine parameters."""
+    return MachineParams.bluegene_l()

@@ -1,0 +1,67 @@
+"""Figure 2 — AR throughput vs message size on 16x16x16 (4,096 nodes).
+
+A 4,096-node packet simulation is beyond Tier A at every scale, so this
+experiment combines Tier B (the same symmetric shape at 8x8x8) with the
+Tier C Eq. 3 prediction evaluated at the full 16x16x16 scale — exactly the
+role the model plays in the paper's own Figure 2.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.sweep import message_size_sweep
+from repro.experiments.common import (
+    ExperimentResult,
+    default_params,
+    resolve_scale,
+    shape_for_scale,
+)
+from repro.model.alltoall import peak_time_cycles, simple_direct_time_cycles
+from repro.model.torus import TorusShape
+from repro.strategies import ARDirect
+from repro.util.units import cycles_to_us
+
+EXP_ID = "fig2_ar_4096"
+TITLE = "Figure 2: AR measured (scaled) vs Eq.3 prediction on 16x16x16"
+
+_SIZES = {
+    "tiny": [8, 208, 464],
+    "small": [8, 64, 208, 464, 976],
+    "full": [8, 64, 208, 464, 976, 2000],
+}
+
+
+def run(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
+    scale = resolve_scale(scale)
+    params = default_params()
+    paper_shape = TorusShape.parse("16x16x16")
+    sim_shape, tier = shape_for_scale(paper_shape, scale)
+    sizes = _SIZES[scale]
+    result = ExperimentResult(
+        exp_id=EXP_ID,
+        title=TITLE,
+        columns=[
+            "m bytes",
+            f"measured({sim_shape.label}) % of peak",
+            "Eq.3(16x16x16) us",
+            "peak(16x16x16) us",
+            "Eq.3 % of peak",
+        ],
+    )
+    points = message_size_sweep(ARDirect(), sim_shape, sizes, params, seed=seed)
+    for pt in points:
+        m = pt.m_bytes
+        pred = simple_direct_time_cycles(paper_shape, m, params)
+        peak = peak_time_cycles(paper_shape, m, params)
+        result.rows.append(
+            {
+                "m bytes": m,
+                f"measured({sim_shape.label}) % of peak": pt.percent_of_peak,
+                "Eq.3(16x16x16) us": cycles_to_us(pred),
+                "peak(16x16x16) us": cycles_to_us(peak),
+                "Eq.3 % of peak": 100.0 * peak / pred,
+            }
+        )
+    result.notes.append(f"tier {tier} measurement on {sim_shape.label}")
+    return result

@@ -1,0 +1,54 @@
+"""Figure 5 — the Eq. 4 prediction for the 32x16 virtual mesh on a
+512-node midplane, across short message sizes.
+
+Pure model (Tier C at every scale): the figure in the paper plots the
+predicted all-to-all time with alpha = 1.7 us, beta = 6.48 ns/B and
+gamma = 1.6 ns/B, which is exactly ``vmesh_time_cycles``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.common import ExperimentResult, default_params, resolve_scale
+from repro.model.alltoall import (
+    peak_time_cycles,
+    simple_direct_time_cycles,
+    vmesh_time_cycles,
+)
+from repro.model.torus import TorusShape
+from repro.util.units import cycles_to_us
+
+EXP_ID = "fig5_vmesh_pred"
+TITLE = "Figure 5: Eq.4 VMesh prediction, 32x16 mesh on 8x8x8"
+
+_SIZES = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512]
+
+
+def run(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
+    resolve_scale(scale)  # validates; the model is scale-independent
+    params = default_params()
+    shape = TorusShape.parse("8x8x8")
+    result = ExperimentResult(
+        exp_id=EXP_ID,
+        title=TITLE,
+        columns=["m bytes", "VMesh pred us", "Eq.3 direct us", "peak us"],
+    )
+    for m in _SIZES:
+        result.rows.append(
+            {
+                "m bytes": m,
+                "VMesh pred us": cycles_to_us(
+                    vmesh_time_cycles(shape, m, params, 32, 16)
+                ),
+                "Eq.3 direct us": cycles_to_us(
+                    simple_direct_time_cycles(shape, m, params)
+                ),
+                "peak us": cycles_to_us(peak_time_cycles(shape, m, params)),
+            }
+        )
+    result.notes.append(
+        "prediction uses alpha=1.7us, beta=6.48ns/B, gamma=1.6ns/B "
+        "(the paper's Figure 5 parameters)."
+    )
+    return result

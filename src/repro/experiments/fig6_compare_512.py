@@ -1,0 +1,55 @@
+"""Figure 6 — AR vs the 32x16 virtual mesh on 512 nodes, short messages.
+
+Paper: for very short messages VMesh is ~2x faster than AR; for large
+messages its doubled network traffic makes it ~2x slower; the crossover
+lands between 32 and 64 bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.api import simulate_alltoall
+from repro.experiments.common import ExperimentResult, default_params, resolve_scale
+from repro.model.alltoall import balanced_vmesh_factors
+from repro.model.torus import TorusShape
+from repro.strategies import ARDirect, VirtualMesh2D
+
+EXP_ID = "fig6_compare_512"
+TITLE = "Figure 6: AR vs VMesh, short messages, 512-node midplane"
+
+_SIZES = {
+    "tiny": [8, 32, 64, 128],
+    "small": [1, 8, 16, 32, 64, 128, 256],
+    "full": [1, 8, 16, 32, 64, 128, 256, 512],
+}
+_SHAPES = {"tiny": "4x4x4", "small": "8x8x8", "full": "8x8x8"}
+
+
+def run(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
+    scale = resolve_scale(scale)
+    params = default_params()
+    shape = TorusShape.parse(_SHAPES[scale])
+    pvx, pvy = balanced_vmesh_factors(shape.nnodes)
+    vmesh = VirtualMesh2D(pvx=pvx, pvy=pvy)
+    result = ExperimentResult(
+        exp_id=EXP_ID,
+        title=TITLE,
+        columns=["m bytes", "AR us", "VMesh us", "VMesh speedup"],
+    )
+    for m in _SIZES[scale]:
+        ar = simulate_alltoall(ARDirect(), shape, m, params, seed=seed)
+        vm = simulate_alltoall(vmesh, shape, m, params, seed=seed)
+        result.rows.append(
+            {
+                "m bytes": m,
+                "AR us": ar.time_us,
+                "VMesh us": vm.time_us,
+                "VMesh speedup": ar.time_cycles / vm.time_cycles,
+            }
+        )
+    result.notes.append(
+        f"virtual mesh {pvx}x{pvy} on {shape.label}; paper: ~2x speedup at "
+        "8 B, crossover between 32 and 64 B."
+    )
+    return result

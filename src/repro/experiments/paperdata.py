@@ -1,0 +1,84 @@
+"""The paper's published numbers, used as reference columns and for the
+qualitative-shape checks in benchmarks and integration tests.
+
+Source: Kumar & Heidelberger, Tables 1-4 and the Section 4.2 text
+(the IBM Research Report / ICPP 2008 versions carry identical values).
+"""
+
+from __future__ import annotations
+
+#: Table 1 — AR percent of peak, large messages, symmetric partitions.
+TABLE1_AR_SYMMETRIC = {
+    "8": 98.2,
+    "16": 97.7,
+    "8x8": 98.7,
+    "16x16": 99.7,
+    "8x8x8": 99.0,
+    "16x16x16": 99.0,
+}
+
+#: Table 2 — AR percent of peak, large messages, asymmetric partitions
+#: ("M" marks a mesh dimension).
+TABLE2_AR_ASYMMETRIC = {
+    "8x2M": 91.8,
+    "8x4M": 89.0,
+    "8x16": 85.7,
+    "8x32": 84.0,
+    "8x8x2M": 90.1,
+    "8x8x4M": 87.7,
+    "8x8x16": 81.0,
+    "8x16x16": 87.0,
+    "8x32x16": 73.3,
+    "16x32x16": 71.0,
+    "32x32x16": 73.6,
+}
+
+#: Table 3 — TPS percent of peak and the chosen phase-1 (linear)
+#: dimension, long messages.
+TABLE3_TPS = {
+    "8x8x8": (77.2, "Z"),
+    "16x8x8": (99.0, "X"),
+    "8x16x8": (98.9, "Y"),
+    "8x8x16": (97.9, "Z"),
+    "16x16x8": (97.5, "Z"),
+    "16x8x16": (97.4, "Y"),
+    "8x16x16": (97.2, "X"),
+    "8x32x16": (99.5, "Y"),
+    "16x16x16": (96.1, "X"),
+    "16x32x16": (99.8, "Y"),
+    "32x16x16": (99.8, "X"),
+    "32x32x16": (96.8, "Z"),
+    "40x32x16": (99.5, "X"),
+}
+
+#: Table 4 — one-byte all-to-all latency in milliseconds (TPS vs AR).
+TABLE4_LATENCY_MS = {
+    "8x8x8": (0.81, 0.52),
+    "8x8x16": (1.64, 1.25),
+    "16x16x16": (7.5, 4.7),
+    "8x32x16": (8.1, 12.4),
+    "32x32x16": (35.9, 65.2),
+}
+
+#: Figure 4 — direct strategies the paper singles out in the text.
+FIG4_TEXT_POINTS = {
+    # (partition, strategy) -> percent of peak quoted in Section 3.2.
+    ("8x32x16", "DR"): 86.0,
+    ("8x32x16", "AR"): 77.0,
+    ("8x16x16", "DR"): 67.0,
+    ("8x16x16", "AR"): 86.0,
+}
+
+#: Section 4.2 — AR/VMesh crossover lands between these message sizes.
+VMESH_CROSSOVER_RANGE_BYTES = (32, 64)
+
+#: Section 4.2 — VMesh speedup over AR for 8 B messages on 512 nodes.
+VMESH_512_SPEEDUP_8B = 2.0
+
+#: Section 4.2 — on 4096 nodes at 8 B: VMesh ~2x TPS, ~3x AR.
+VMESH_4096_SPEEDUPS_8B = {"TPS": 2.0, "AR": 3.0}
+
+#: Section 5 — headline: 40x32x16 improved from ~72 % (AR) to >99 % (TPS).
+HEADLINE_40x32x16 = {"AR": 72.0, "TPS": 99.5}
+
+AXIS_NAMES = "XYZ"

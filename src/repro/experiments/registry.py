@@ -1,0 +1,71 @@
+"""Registry mapping experiment ids to their drivers.
+
+Each driver is ``run(scale=None, seed=0) -> ExperimentResult``; the
+benchmark harness, the CLI and EXPERIMENTS.md all key off these ids.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.experiments import (
+    ablations,
+    scaling,
+    fig1_ar_midplane,
+    fig2_ar_4096,
+    fig3_throughput,
+    fig4_direct,
+    fig5_vmesh_pred,
+    fig6_compare_512,
+    fig7_compare_4096,
+    tab1_symmetric,
+    tab2_asymmetric,
+    tab3_tps,
+    tab4_latency,
+)
+from repro.experiments.common import ExperimentResult
+
+Driver = Callable[..., ExperimentResult]
+
+#: Paper table/figure reproductions, in paper order.
+EXPERIMENTS: dict[str, Driver] = {
+    "fig1_ar_midplane": fig1_ar_midplane.run,
+    "fig2_ar_4096": fig2_ar_4096.run,
+    "tab1_symmetric": tab1_symmetric.run,
+    "fig3_throughput": fig3_throughput.run,
+    "tab2_asymmetric": tab2_asymmetric.run,
+    "fig4_direct": fig4_direct.run,
+    "tab3_tps": tab3_tps.run,
+    "tab4_latency": tab4_latency.run,
+    "fig5_vmesh_pred": fig5_vmesh_pred.run,
+    "fig6_compare_512": fig6_compare_512.run,
+    "fig7_compare_4096": fig7_compare_4096.run,
+}
+
+#: Design-choice ablations and extensions (not paper artifacts).
+ABLATIONS: dict[str, Driver] = {
+    "scaling_study": scaling.run,
+    "ablate_tps_axis": ablations.tps_linear_axis,
+    "ablate_tps_pipelining": ablations.tps_pipelining,
+    "ablate_dr_axis": ablations.dr_longest_axis,
+    "ablate_vmesh_factors": ablations.vmesh_factorization,
+    "ablate_credit_overhead": ablations.credit_overhead,
+}
+
+ALL: dict[str, Driver] = {**EXPERIMENTS, **ABLATIONS}
+
+
+def get_driver(exp_id: str) -> Driver:
+    """Look up a driver by id."""
+    try:
+        return ALL[exp_id]
+    except KeyError:
+        known = ", ".join(sorted(ALL))
+        raise KeyError(f"unknown experiment {exp_id!r}; known: {known}") from None
+
+
+def run_experiment(
+    exp_id: str, scale: Optional[str] = None, seed: int = 0
+) -> ExperimentResult:
+    """Run one experiment by id."""
+    return get_driver(exp_id)(scale=scale, seed=seed)

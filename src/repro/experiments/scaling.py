@@ -1,0 +1,79 @@
+"""Scaling study (extension): efficiency vs machine size at fixed shape.
+
+Not a paper artifact, but the natural follow-up the paper's Section 2
+model invites: as the partition grows, the average hop count grows, the
+per-node CPU demand *falls* relative to the network ("the processing
+demand is proportional to one over the average number of hops"), and the
+asymmetric-congestion loss *grows* with the longest dimension.  This
+driver sweeps a shape family at increasing size and reports AR and TPS
+efficiency plus the CPU/network balance predicted by the model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.api import simulate_alltoall
+from repro.experiments.common import (
+    ExperimentResult,
+    LARGE_MESSAGE_BYTES,
+    default_params,
+    resolve_scale,
+)
+from repro.model.torus import TorusShape
+from repro.strategies import ARDirect, TwoPhaseSchedule
+
+EXP_ID = "scaling_study"
+TITLE = "Extension: AR/TPS efficiency vs machine size (fixed aspect 1:1:2)"
+
+_FAMILY = {
+    "tiny": ["2x2x4", "4x4x8"],
+    "small": ["2x2x4", "4x4x8", "8x8x16"],
+    "full": ["2x2x4", "4x4x8", "8x8x16"],
+}
+
+
+def cpu_network_balance(shape: TorusShape, msg_bytes: int) -> float:
+    """Model ratio of per-node CPU demand to network time for AR: below
+    1.0 the network is the binding resource (Section 2's argument)."""
+    params = default_params()
+    sizes = params.packetize_message(msg_bytes)
+    cpu = 2.0 * sum(params.cpu_packet_handling_cycles(w) for w in sizes)
+    net = shape.contention_factor * msg_bytes * params.beta_cycles_per_byte
+    return cpu / net if net > 0 else float("inf")
+
+
+def run(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
+    scale = resolve_scale(scale)
+    params = default_params()
+    m = LARGE_MESSAGE_BYTES[scale]
+    result = ExperimentResult(
+        exp_id=EXP_ID,
+        title=TITLE,
+        columns=[
+            "partition",
+            "nodes",
+            "AR % of peak",
+            "TPS % of peak",
+            "cpu/net balance",
+        ],
+    )
+    for lbl in _FAMILY[scale]:
+        shape = TorusShape.parse(lbl)
+        ar = simulate_alltoall(ARDirect(), shape, m, params, seed=seed)
+        tps = simulate_alltoall(TwoPhaseSchedule(), shape, m, params, seed=seed)
+        result.rows.append(
+            {
+                "partition": lbl,
+                "nodes": shape.nnodes,
+                "AR % of peak": ar.percent_of_peak,
+                "TPS % of peak": tps.percent_of_peak,
+                "cpu/net balance": cpu_network_balance(shape, m),
+            }
+        )
+    result.notes.append(
+        "cpu/net < 1 means the network binds (bigger machines relieve the "
+        "CPU: Section 2); TPS overtakes AR as the asymmetric dimension "
+        "lengthens."
+    )
+    return result

@@ -1,0 +1,16 @@
+"""Untimed data-movement execution and exchange verification."""
+
+from repro.functional.engine import FunctionalEngine, FunctionalResult
+from repro.functional.verify import (
+    VerificationReport,
+    run_and_verify,
+    verify_exchange,
+)
+
+__all__ = [
+    "FunctionalEngine",
+    "FunctionalResult",
+    "VerificationReport",
+    "run_and_verify",
+    "verify_exchange",
+]

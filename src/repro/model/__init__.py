@@ -1,0 +1,63 @@
+"""Analytic performance models from the paper (Sections 2-4).
+
+Exposes the machine parameter set (:class:`MachineParams`), partition
+shapes (:class:`TorusShape`), the Eq. 1-4 cost models, exact per-link load
+accounting and contention/asymmetry analysis.
+"""
+
+from repro.model.machine import MachineParams
+from repro.model.torus import TorusShape
+from repro.model.pointtopoint import PtpCostBreakdown, ptp_time_cycles
+from repro.model.alltoall import (
+    ThroughputPoint,
+    ar_vmesh_crossover_bytes,
+    asymptotic_direct_efficiency,
+    balanced_vmesh_factors,
+    peak_time_cycles,
+    percent_of_peak,
+    simple_direct_time_cycles,
+    throughput_point,
+    vmesh_time_cycles,
+)
+from repro.model.linkload import (
+    DimUtilization,
+    dim_byte_hops,
+    dim_utilization,
+    dor_max_link_loads,
+    network_lower_bound_cycles,
+    uniform_link_loads,
+)
+from repro.model.contention import (
+    AsymmetryMetrics,
+    ar_efficiency_estimate,
+    asymmetry_metrics,
+    contention_parameter,
+    expect_ar_degradation,
+)
+
+__all__ = [
+    "MachineParams",
+    "TorusShape",
+    "PtpCostBreakdown",
+    "ptp_time_cycles",
+    "ThroughputPoint",
+    "ar_vmesh_crossover_bytes",
+    "asymptotic_direct_efficiency",
+    "balanced_vmesh_factors",
+    "peak_time_cycles",
+    "percent_of_peak",
+    "simple_direct_time_cycles",
+    "throughput_point",
+    "vmesh_time_cycles",
+    "DimUtilization",
+    "dim_byte_hops",
+    "dim_utilization",
+    "dor_max_link_loads",
+    "network_lower_bound_cycles",
+    "uniform_link_loads",
+    "AsymmetryMetrics",
+    "ar_efficiency_estimate",
+    "asymmetry_metrics",
+    "contention_parameter",
+    "expect_ar_degradation",
+]

@@ -1,0 +1,146 @@
+"""Equations 2-4: the paper's all-to-all cost models.
+
+* Eq. 2 — network-limited peak:      ``T_peak = P * C * m * beta`` with
+  ``C = M/8`` on a torus (generalized per-dimension in
+  :meth:`repro.model.torus.TorusShape.contention_factor`).
+* Eq. 3 — simple direct strategies:  ``T ~= P*alpha + P*C*(m+h)*beta``.
+* Eq. 4 — balanced 2-D virtual mesh: ``T ~= (Pvx+Pvy)*alpha +
+  2*P*(m+proto)*(C*beta + gamma)``.
+
+These are the "prediction" series of Figures 1, 2 and 5 and define the
+"percent of peak" metric used by every table.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.model.machine import MachineParams
+from repro.model.torus import TorusShape
+from repro.util.validation import check_positive_int, require
+
+
+def peak_time_cycles(
+    shape: TorusShape, m_bytes: float, params: MachineParams
+) -> float:
+    """Eq. 2: best-possible all-to-all time, cycles (no startup, payload
+    *m_bytes* per destination)."""
+    require(m_bytes >= 0, "message size must be >= 0")
+    return shape.nnodes * shape.contention_factor * m_bytes * (
+        params.beta_cycles_per_byte
+    )
+
+
+def simple_direct_time_cycles(
+    shape: TorusShape, m_bytes: int, params: MachineParams
+) -> float:
+    """Eq. 3: predicted time of a direct (AR-style) all-to-all, cycles.
+
+    The header rides once per message; the startup is paid once per
+    destination.
+    """
+    require(m_bytes >= 0, "message size must be >= 0")
+    p = shape.nnodes
+    return p * params.alpha_packet_cycles + p * shape.contention_factor * (
+        m_bytes + params.header_bytes
+    ) * params.beta_cycles_per_byte
+
+
+def vmesh_time_cycles(
+    shape: TorusShape,
+    m_bytes: int,
+    params: MachineParams,
+    pvx: int,
+    pvy: int,
+) -> float:
+    """Eq. 4: predicted time of the balanced 2-D virtual-mesh strategy.
+
+    ``pvx`` rows x ``pvy`` columns must factor the node count.  Each of the
+    two phases moves every node's full P*m bytes once (hence the factor 2),
+    paying network (C*beta) plus the intermediate memcpy (gamma) per byte,
+    with an 8 B protocol header per combined chunk.
+    """
+    check_positive_int(pvx, "pvx")
+    check_positive_int(pvy, "pvy")
+    require(pvx * pvy == shape.nnodes, "virtual mesh must tile the partition")
+    require(m_bytes >= 0, "message size must be >= 0")
+    p = shape.nnodes
+    per_byte = (
+        shape.contention_factor * params.beta_cycles_per_byte
+        + params.gamma_cycles_per_byte
+    )
+    return (pvx + pvy) * params.alpha_message_cycles + 2.0 * p * (
+        m_bytes + params.proto_bytes
+    ) * per_byte
+
+
+def ar_vmesh_crossover_bytes(params: MachineParams) -> int:
+    """Message size where Eq. 3 and Eq. 4 beta-terms balance:
+    ``m = h - 2*proto`` (Section 4.2; ~32 B with the paper's parameters).
+
+    The paper notes the *observed* crossover lands between 32 and 64 B
+    because 256 B packets run the network more efficiently than 64 B ones.
+    """
+    return params.header_bytes - 2 * params.proto_bytes
+
+
+@dataclass(frozen=True)
+class ThroughputPoint:
+    """One point of a throughput-vs-message-size series."""
+
+    m_bytes: int
+    time_cycles: float
+    #: Per-node payload bandwidth, bytes/cycle: P*m / T.
+    per_node_bytes_per_cycle: float
+    #: Fraction of the Eq. 2 peak in [0, ~1].
+    fraction_of_peak: float
+
+
+def throughput_point(
+    shape: TorusShape,
+    m_bytes: int,
+    time_cycles: float,
+    params: MachineParams,
+) -> ThroughputPoint:
+    """Package a measured/predicted all-to-all time as a throughput point."""
+    require(time_cycles > 0, "time must be positive")
+    peak = peak_time_cycles(shape, m_bytes, params)
+    return ThroughputPoint(
+        m_bytes=m_bytes,
+        time_cycles=time_cycles,
+        per_node_bytes_per_cycle=shape.nnodes * m_bytes / time_cycles,
+        fraction_of_peak=(peak / time_cycles) if peak > 0 else 0.0,
+    )
+
+
+def percent_of_peak(
+    shape: TorusShape,
+    m_bytes: int,
+    time_cycles: float,
+    params: MachineParams,
+) -> float:
+    """Percent of the Eq. 2 peak achieved by an all-to-all taking
+    *time_cycles* (the metric of Tables 1-3)."""
+    return 100.0 * throughput_point(shape, m_bytes, time_cycles, params).fraction_of_peak
+
+
+def asymptotic_direct_efficiency(
+    shape: TorusShape, params: MachineParams, m_bytes: int = 1 << 20
+) -> float:
+    """Large-message fraction of peak that Eq. 3 predicts (header overhead
+    only; contention beyond C is not modeled by Eq. 3)."""
+    t = simple_direct_time_cycles(shape, m_bytes, params)
+    return peak_time_cycles(shape, m_bytes, params) / t
+
+
+def balanced_vmesh_factors(p: int) -> tuple[int, int]:
+    """Factor *p* as pvx*pvy with pvx/pvy as close to square as possible and
+    pvx >= pvy (Section 4.2: "keep the number of rows and columns about the
+    same")."""
+    check_positive_int(p, "p")
+    best = (p, 1)
+    for pvy in range(1, int(math.isqrt(p)) + 1):
+        if p % pvy == 0:
+            best = (p // pvy, pvy)
+    return best

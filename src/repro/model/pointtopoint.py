@@ -1,0 +1,72 @@
+"""Equation 1: the point-to-point message cost model.
+
+``T_ptp = alpha + (m + h) * C * beta + L`` where
+
+* ``alpha``  — non-pipelinable startup (processor + network),
+* ``m``      — message payload bytes,
+* ``h``      — software header bytes,
+* ``C``      — contention delay factor (1.0 on an idle network),
+* ``beta``   — per-byte transfer time,
+* ``L``      — network latency, proportional to hop count.
+
+All times in processor cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.machine import MachineParams
+from repro.util.validation import check_nonneg, require
+
+
+@dataclass(frozen=True)
+class PtpCostBreakdown:
+    """Cost components of one point-to-point message, in cycles."""
+
+    startup: float
+    transfer: float
+    latency: float
+
+    @property
+    def total(self) -> float:
+        """Total cycles (Eq. 1)."""
+        return self.startup + self.transfer + self.latency
+
+
+def ptp_time_cycles(
+    params: MachineParams,
+    m_bytes: int,
+    hops: int = 0,
+    contention: float = 1.0,
+    message_level: bool = False,
+) -> PtpCostBreakdown:
+    """Evaluate Eq. 1 for one message.
+
+    Parameters
+    ----------
+    params:
+        Machine cost parameters.
+    m_bytes:
+        Payload size in bytes.
+    hops:
+        Network hops the first packet traverses; sets the latency term
+        ``L = hops * hop_latency``.
+    contention:
+        The ``C`` factor; 1.0 models an unloaded network, ``M/8`` models a
+        saturating all-to-all (Section 2.1).
+    message_level:
+        Use the message runtime's startup (1170 cycles) instead of the
+        packet runtime's (450 cycles).
+    """
+    require(m_bytes >= 0, "message size must be >= 0")
+    check_nonneg(contention, "contention")
+    check_nonneg(hops, "hops")
+    alpha = (
+        params.alpha_message_cycles if message_level else params.alpha_packet_cycles
+    )
+    transfer = (
+        (m_bytes + params.header_bytes) * contention * params.beta_cycles_per_byte
+    )
+    latency = hops * params.hop_latency_cycles
+    return PtpCostBreakdown(startup=alpha, transfer=transfer, latency=latency)

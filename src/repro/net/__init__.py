@@ -1,0 +1,42 @@
+"""Packet-level discrete-event simulator of the BG/L torus network.
+
+Public surface: :class:`TorusNetwork` (the engine),
+:class:`NetworkConfig` (router sizing), :class:`PacketSpec` /
+:class:`Packet` / :class:`RoutingMode` (traffic), the
+:class:`NodeProgram` protocol with :class:`ListProgram` helper, and the
+:class:`SimulationResult` summary.
+"""
+
+from repro.net.config import NetworkConfig
+from repro.net.errors import DeadlockError, SimulationError, SimulationLimitError
+from repro.net.packet import NO_VC, Packet, PacketSpec, RoutingMode
+from repro.net.program import BaseProgram, ListProgram, NodeProgram
+from repro.net.simulator import TorusNetwork
+from repro.net.topology import (
+    Topology,
+    direction_axis,
+    direction_of,
+    direction_sign,
+)
+from repro.net.trace import SimStats, SimulationResult
+
+__all__ = [
+    "NetworkConfig",
+    "DeadlockError",
+    "SimulationError",
+    "SimulationLimitError",
+    "NO_VC",
+    "Packet",
+    "PacketSpec",
+    "RoutingMode",
+    "BaseProgram",
+    "ListProgram",
+    "NodeProgram",
+    "TorusNetwork",
+    "Topology",
+    "direction_axis",
+    "direction_of",
+    "direction_sign",
+    "SimStats",
+    "SimulationResult",
+]

@@ -1,0 +1,78 @@
+"""Network/router configuration derived from :class:`MachineParams`.
+
+Separates the *cost* parameters (measured in the paper, in
+:mod:`repro.model.machine`) from the *micro-architecture sizing* the
+simulator needs (buffer depths, FIFO counts, reception queue length,
+simulation safety limits), while defaulting everything to BG/L values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.machine import MachineParams
+from repro.util.validation import check_positive_int, require
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Sizing and policy knobs of the simulated torus network."""
+
+    #: Dynamic (adaptive) VCs per link.
+    num_dynamic_vcs: int = 2
+    #: One bubble/escape VC per link (BG/L); kept explicit for ablations.
+    num_bubble_vcs: int = 1
+    #: Input VC buffer depth, in packets.
+    vc_depth: int = 4
+    #: Injection FIFOs per node.
+    num_injection_fifos: int = 4
+    #: Injection FIFO depth, in packets.
+    injection_fifo_depth: int = 8
+    #: Reception FIFO depth, in packets (backpressures the network when
+    #: full, modelling the slow-CPU effect of Section 2).
+    reception_fifo_depth: int = 16
+    #: Free slots a packet must see downstream to *enter* a bubble ring
+    #: (continuing packets need 1).  The canonical bubble rule uses 2; a
+    #: larger margin keeps more free slots ("bubbles") circulating, which
+    #: restrains deterministic-routing injection from gridlocking a
+    #: saturated ring.  Exposed for the DR ablations.
+    bubble_entry_tokens: int = 2
+    #: Hard cap on simulated cycles (safety).
+    max_cycles: float = 5.0e9
+    #: Hard cap on processed events (safety).
+    max_events: int = 500_000_000
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.num_dynamic_vcs, "num_dynamic_vcs")
+        require(self.num_bubble_vcs == 1, "exactly one bubble VC is supported")
+        check_positive_int(self.vc_depth, "vc_depth")
+        check_positive_int(self.num_injection_fifos, "num_injection_fifos")
+        check_positive_int(self.injection_fifo_depth, "injection_fifo_depth")
+        check_positive_int(self.reception_fifo_depth, "reception_fifo_depth")
+        require(self.bubble_entry_tokens >= 2, "bubble entry needs >= 2 tokens")
+        require(self.max_cycles > 0, "max_cycles must be positive")
+        check_positive_int(self.max_events, "max_events")
+
+    @property
+    def num_vcs(self) -> int:
+        """Total VCs per link (dynamic + bubble).  The BG/L high-priority
+        VC is not simulated: application all-to-all never uses it."""
+        return self.num_dynamic_vcs + self.num_bubble_vcs
+
+    @property
+    def bubble_vc(self) -> int:
+        """Index of the bubble/escape VC (the last one)."""
+        return self.num_dynamic_vcs
+
+    @classmethod
+    def from_machine(cls, params: MachineParams, **overrides: object) -> "NetworkConfig":
+        """Build a config from machine parameters, with keyword overrides."""
+        base = dict(
+            num_dynamic_vcs=params.num_dynamic_vcs,
+            num_bubble_vcs=params.num_bubble_vcs,
+            vc_depth=params.vc_depth_packets,
+            num_injection_fifos=params.num_injection_fifos,
+            injection_fifo_depth=params.injection_fifo_depth,
+        )
+        base.update(overrides)  # type: ignore[arg-type]
+        return cls(**base)  # type: ignore[arg-type]

@@ -1,0 +1,22 @@
+"""Simulator error types."""
+
+from __future__ import annotations
+
+
+class SimulationError(RuntimeError):
+    """Base class for simulator failures."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while packets were still undelivered.
+
+    A correctly configured simulation cannot deadlock (the bubble escape VC
+    guarantees forward progress); this error therefore indicates either a
+    mis-built node program (e.g. a forwarding rule that drops packets) or a
+    configuration whose reception queues were disabled.  The message carries
+    a per-node diagnostic snapshot.
+    """
+
+
+class SimulationLimitError(SimulationError):
+    """The simulation exceeded its configured cycle or event budget."""

@@ -1,0 +1,138 @@
+"""Packet representation and injection specifications.
+
+A :class:`Packet` is the unit the torus moves: up to 256 B on the wire,
+carrying a routing mode (adaptive dynamic-VC or deterministic bubble-VC),
+the node it must be *delivered* to, and an opaque ``tag`` that node
+programs use to recognize forwarded traffic (TPS phase-1 packets, VMesh row
+messages, ...).
+
+:class:`PacketSpec` is the strategy-facing description of a packet to
+inject; the simulator turns specs into packets at injection time so that
+multi-million-packet schedules can be generated lazily.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Hashable
+
+
+class RoutingMode(enum.IntEnum):
+    """How the torus routes a packet (Section 2: BG/L supports both)."""
+
+    #: JSQ adaptive routing on the dynamic VCs, bubble VC as escape.
+    ADAPTIVE = 0
+    #: Dimension-ordered routing on the bubble VC only.
+    DETERMINISTIC = 1
+
+
+@dataclass(frozen=True)
+class PacketSpec:
+    """A packet a node program wants injected.
+
+    Attributes
+    ----------
+    dst:
+        Node rank the *network* delivers this packet to (an intermediate
+        node for indirect strategies).
+    wire_bytes:
+        On-the-wire size, a legal torus packet size (32 B granularity).
+    mode:
+        Routing mode.
+    fifo_group:
+        Injection FIFO group; TPS reserves one group per phase so phase-1
+        packets are never blocked behind phase-2 packets (Section 4.1).
+    new_message:
+        True on the first packet of a message: charges the per-message
+        startup alpha on the injecting CPU.
+    tag:
+        Opaque marker handed to the receiving node program.
+    final_dst:
+        Ultimate destination rank (accounting/verification only).
+    payload_bytes:
+        Application payload carried (accounting only; <= wire_bytes).
+    extra_cpu_cycles:
+        Additional CPU cycles to charge when injecting (e.g. the VMesh
+        gamma memcpy for combining at intermediates).
+    alpha_cycles:
+        Startup charged when ``new_message`` (negative = use the machine's
+        packet-runtime alpha).  Message-level strategies (MPI, VMesh) set
+        the heavier 1170-cycle alpha here.
+    """
+
+    dst: int
+    wire_bytes: int
+    mode: RoutingMode = RoutingMode.ADAPTIVE
+    fifo_group: int = 0
+    new_message: bool = False
+    tag: Hashable = None
+    final_dst: int = -1
+    payload_bytes: int = 0
+    extra_cpu_cycles: float = 0.0
+    alpha_cycles: float = -1.0
+
+
+#: Sentinel for "no VC assigned yet".
+NO_VC = -1
+
+
+@dataclass
+class Packet:
+    """A live packet inside the simulated network (mutable)."""
+
+    __slots__ = (
+        "pid",
+        "src",
+        "dst",
+        "wire_bytes",
+        "mode",
+        "tag",
+        "final_dst",
+        "payload_bytes",
+        "inject_time",
+        "deliver_time",
+        "hops",
+        "vc",
+        "halfbits",
+    )
+
+    pid: int
+    src: int
+    dst: int
+    wire_bytes: int
+    mode: RoutingMode
+    tag: Hashable
+    final_dst: int
+    payload_bytes: int
+    inject_time: float
+    deliver_time: float
+    hops: int
+    vc: int
+    #: Per-axis direction choice for exact-half torus displacements (bit a
+    #: set => axis a resolves +).  Fixed at injection from a hash of the
+    #: packet id so the two minimal directions are used evenly, matching
+    #: the hardware/runtime behavior the paper's Eq. 2 peak assumes; a
+    #: fixed tie-break would overload one direction by 25 % on even tori.
+    halfbits: int
+
+    @classmethod
+    def from_spec(
+        cls, pid: int, src: int, spec: PacketSpec, now: float
+    ) -> "Packet":
+        """Materialize a packet from its spec at injection time."""
+        return cls(
+            pid=pid,
+            src=src,
+            dst=spec.dst,
+            wire_bytes=spec.wire_bytes,
+            mode=spec.mode,
+            tag=spec.tag,
+            final_dst=spec.final_dst if spec.final_dst >= 0 else spec.dst,
+            payload_bytes=spec.payload_bytes,
+            inject_time=now,
+            deliver_time=-1.0,
+            hops=0,
+            vc=NO_VC,
+            halfbits=(pid * 0x9E3779B1) >> 7,
+        )

@@ -1,0 +1,768 @@
+"""Event-driven packet-level simulator of the BG/L torus network.
+
+Models the router micro-architecture the paper's analysis rests on
+(Sections 2-4):
+
+* input-queued routers with per-(direction, VC) buffers and token (credit)
+  flow control — a sender transmits only after reserving a downstream slot;
+* two *dynamic* VCs routed adaptively (JSQ: the candidate (direction, VC)
+  with the most free downstream tokens wins) plus one *bubble* escape VC
+  routed in dimension order, with the bubble rule (a packet newly entering
+  a bubble ring needs two free slots, a continuing one needs one)
+  preventing deadlock;
+* per-packet routing mode: ``ADAPTIVE`` (dynamic VCs, bubble as escape) or
+  ``DETERMINISTIC`` (bubble VC only, dimension order) — the AR vs DR
+  distinction of Section 3;
+* injection FIFOs grouped so that strategies (TPS) can reserve FIFOs per
+  phase, making phase-1 packets never queue behind phase-2 packets;
+* a node CPU that can keep only ~4 links busy (Section 2): injection,
+  reception draining and software forwarding all share one byte-rate
+  budget, served round-robin — this is what makes TPS CPU-bound on a
+  512-node midplane (Table 3) while through-traffic is routed entirely in
+  "hardware" (virtual cut-through) and costs the CPU nothing.
+
+Timing is store-and-forward at packet granularity (service = bytes * beta
+per link hop, plus a per-hop router latency); this approximates virtual
+cut-through faithfully for throughput studies because all-to-all traffic
+is deeply pipelined (the approximation is documented in DESIGN.md).
+
+The simulation is deterministic for a given (program, seed): arbitration
+uses rotating priorities, not random draws.
+
+Implementation notes: this is the package's hottest code — state lives in
+flat Python lists (far faster than NumPy scalar indexing), events wake
+exactly the component they enable, and the inner routing/arbitration loops
+are written with minimal indirection.  ``tests/net`` pins the semantics.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from heapq import heappop, heappush
+from typing import Iterable, Iterator, Optional
+
+import numpy as np
+
+from repro.model.machine import MachineParams
+from repro.model.torus import TorusShape
+from repro.net.config import NetworkConfig
+from repro.net.errors import DeadlockError, SimulationLimitError
+from repro.net.packet import NO_VC, Packet, PacketSpec, RoutingMode
+from repro.net.program import NodeProgram
+from repro.net.topology import Topology
+from repro.net.trace import SimStats, SimulationResult
+
+# Event kinds (dispatch on small ints for speed).
+_EV_LINK_FREE = 0
+_EV_ARRIVE = 1
+_EV_TOKEN = 2
+_EV_CPU_DONE = 3
+_EV_CPU_WAKE = 4
+_EV_FIFO_FREE = 5
+
+# CPU work sources, round-robined.
+_SRC_RECV = 0
+_SRC_FORWARD = 1
+_SRC_PLAN = 2
+
+_ADAPTIVE = int(RoutingMode.ADAPTIVE)
+
+
+class TorusNetwork:
+    """One simulated BG/L partition.
+
+    Construct once per run; :meth:`run` executes a node program to
+    quiescence and returns a :class:`SimulationResult`.
+    """
+
+    def __init__(
+        self,
+        shape: TorusShape,
+        params: Optional[MachineParams] = None,
+        config: Optional[NetworkConfig] = None,
+    ) -> None:
+        self.shape = shape
+        self.params = params or MachineParams.bluegene_l()
+        self.config = config or NetworkConfig.from_machine(self.params)
+        self.topo = Topology(shape)
+
+        p = shape.nnodes
+        cfg = self.config
+        self._p = p
+        self._ndim = shape.ndim
+        self._ndirs = self.topo.ndirs
+        self._nvcs = cfg.num_vcs
+        self._ndyn = cfg.num_dynamic_vcs
+        self._bubble = cfg.bubble_vc
+        self._nfifos = cfg.num_injection_fifos
+        self._vc_depth = cfg.vc_depth
+        self._bubble_entry = cfg.bubble_entry_tokens
+
+        # --- topology tables as plain Python lists (hot path) ------------
+        self._nbr: list[list[int]] = self.topo.neighbor.tolist()
+        # _coord[axis][node]
+        self._coord: list[list[int]] = [
+            self.topo.coords[:, a].tolist() for a in range(self._ndim)
+        ]
+        self._dims = shape.dims
+        self._wrap = tuple(shape.wrap_effective(a) for a in range(self._ndim))
+        self._half = tuple(d // 2 for d in shape.dims)
+
+        # --- network state ------------------------------------------------
+        ndirs, nvcs = self._ndirs, self._nvcs
+        self._link_busy: list[float] = [0.0] * (p * ndirs)
+        self._tokens: list[int] = [cfg.vc_depth] * (p * ndirs * nvcs)
+        self._vcq: list[deque[Packet]] = [
+            deque() for _ in range(p * ndirs * nvcs)
+        ]
+        self._fifo: list[deque[Packet]] = [
+            deque() for _ in range(p * self._nfifos)
+        ]
+        self._fifo_free: list[int] = [cfg.injection_fifo_depth] * (
+            p * self._nfifos
+        )
+        self._recv_free: list[int] = [cfg.reception_fifo_depth] * p
+
+        # --- CPU state ----------------------------------------------------
+        self._cpu_active: list[bool] = [False] * p
+        self._cpu_rr: list[int] = [0] * p
+        self._cpu_pending: list[Optional[tuple]] = [None] * p
+        self._recv_pending: list[deque[Packet]] = [deque() for _ in range(p)]
+        self._fwd_pending: list[deque[PacketSpec]] = [deque() for _ in range(p)]
+        self._plan_next: list[Optional[PacketSpec]] = [None] * p
+        self._plan_iter: list[Optional[Iterator[PacketSpec]]] = [None] * p
+        self._plan_last_start: list[float] = [float("-inf")] * p
+        self._pace: list[float] = [0.0] * p
+        self._fifo_rr: list[int] = [0] * p
+        self._ngroups = 1
+
+        # --- arbitration rotation per (node, direction) link --------------
+        self._arb: list[int] = [0] * (p * ndirs)
+        # Ports: (in_dir, vc) pairs first, then injection FIFO indices.
+        self._vc_ports: list[tuple[int, int]] = [
+            (ind, vc) for ind in range(ndirs) for vc in range(nvcs)
+        ]
+        self._nports = len(self._vc_ports) + self._nfifos
+
+        # --- bookkeeping ----------------------------------------------------
+        self._events: list[tuple] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._pid = itertools.count()
+        self._busy_cycles: list[float] = [0.0] * (p * ndirs)
+        self.stats = SimStats()
+        self._program: Optional[NodeProgram] = None
+
+        # Derived costs.
+        prm = self.params
+        self._beta = prm.beta_cycles_per_byte
+        self._hop_latency = prm.hop_latency_cycles
+        self._cpu_fixed = prm.packet_cpu_cycles
+        self._cpu_incr = prm.cpu_incremental_cycles_per_byte
+        self._alpha = prm.alpha_packet_cycles
+
+    # ------------------------------------------------------------------ #
+    # public knobs
+    # ------------------------------------------------------------------ #
+
+    def set_fifo_groups(self, ngroups: int) -> None:
+        """Partition injection FIFOs into *ngroups* reservation groups
+        (TPS uses 2: one per phase).  Must divide the FIFO count."""
+        if ngroups < 1 or self._nfifos % ngroups != 0:
+            raise ValueError(
+                f"ngroups={ngroups} must divide num_injection_fifos="
+                f"{self._nfifos}"
+            )
+        self._ngroups = ngroups
+
+    # ------------------------------------------------------------------ #
+    # small helpers
+    # ------------------------------------------------------------------ #
+
+    def _post(self, t: float, kind: int, a: int, b: int, c) -> None:
+        heappush(self._events, (t, next(self._seq), kind, a, b, c))
+
+    def _disp(self, cur: int, dst: int, axis: int, halfbits: int) -> int:
+        """Shortest signed displacement cur -> dst on *axis* (wrap-aware).
+
+        An exact-half displacement on an even torus dimension is minimal in
+        both directions; the packet's *halfbits* decide which one it uses,
+        so the two directions carry equal load in aggregate (a fixed
+        tie-break would overload one direction by 25 % and cap all-to-all
+        at 80 % of the Eq. 2 peak)."""
+        col = self._coord[axis]
+        d = col[dst] - col[cur]
+        if self._wrap[axis]:
+            n = self._dims[axis]
+            d %= n
+            half = self._half[axis]
+            if d > half:
+                d -= n
+            elif d == half and not (n & 1) and not (halfbits >> axis) & 1:
+                d -= n
+        return d
+
+    def _dor_dir(self, cur: int, dst: int, halfbits: int) -> int:
+        """Dimension-order next direction, or -1 at destination."""
+        coord = self._coord
+        wrap = self._wrap
+        dims = self._dims
+        half = self._half
+        for axis in range(self._ndim):
+            col = coord[axis]
+            d = col[dst] - col[cur]
+            if wrap[axis]:
+                n = dims[axis]
+                d %= n
+                h = half[axis]
+                if d > h:
+                    d -= n
+                elif d == h and not (n & 1) and not (halfbits >> axis) & 1:
+                    d -= n
+            if d:
+                return 2 * axis + (0 if d > 0 else 1)
+        return -1
+
+    # ------------------------------------------------------------------ #
+    # sending machinery
+    # ------------------------------------------------------------------ #
+
+    def _vc_for_link(
+        self, u: int, d: int, v: int, pkt: Packet, in_axis: int,
+        dynamic_pass: bool,
+    ) -> int:
+        """VC to use sending *pkt* over (u -> v, direction d), or -1.
+
+        ``in_axis`` is the axis the packet is currently traveling on
+        (-1 when coming from an injection FIFO).  ``dynamic_pass`` selects
+        the adaptive dynamic-VC pass vs the bubble/escape pass.
+        """
+        axis = d >> 1
+        base = (v * self._ndirs + (d ^ 1)) * self._nvcs
+        tokens = self._tokens
+        if pkt.mode == _ADAPTIVE:
+            if dynamic_pass:
+                col = self._coord[axis]
+                disp = col[pkt.dst] - col[u]
+                if self._wrap[axis]:
+                    n = self._dims[axis]
+                    disp %= n
+                    h = self._half[axis]
+                    if disp > h:
+                        disp -= n
+                    elif (
+                        disp == h
+                        and not (n & 1)
+                        and not (pkt.halfbits >> axis) & 1
+                    ):
+                        disp -= n
+                if disp == 0 or (disp > 0) != ((d & 1) == 0):
+                    return -1
+                best, best_free = -1, 0
+                for vc in range(self._ndyn):
+                    f = tokens[base + vc]
+                    if f > best_free:
+                        best, best_free = vc, f
+                return best
+            if self._dor_dir(u, pkt.dst, pkt.halfbits) != d:
+                return -1
+            entering = pkt.vc != self._bubble or in_axis != axis
+            need = self._bubble_entry if entering else 1
+            if tokens[base + self._bubble] >= need:
+                return self._bubble
+            return -1
+        # DETERMINISTIC: bubble VC only, dimension order only.
+        if dynamic_pass:
+            return -1
+        if self._dor_dir(u, pkt.dst, pkt.halfbits) != d:
+            return -1
+        entering = pkt.vc != self._bubble or in_axis != axis
+        need = self._bubble_entry if entering else 1
+        if tokens[base + self._bubble] >= need:
+            return self._bubble
+        return -1
+
+    def _launch(
+        self, u: int, d: int, v: int, pkt: Packet, vc: int
+    ) -> None:
+        """Start transmitting *pkt* from *u* to *v* on (d, vc).  The caller
+        already removed the packet from its queue and released its old
+        slot."""
+        idx = (v * self._ndirs + (d ^ 1)) * self._nvcs + vc
+        self._tokens[idx] -= 1
+        pkt.vc = vc
+        pkt.hops += 1
+        self.stats.total_hops += 1
+        service = pkt.wire_bytes * self._beta
+        done = self._now + service
+        li = u * self._ndirs + d
+        self._link_busy[li] = done
+        self._busy_cycles[li] += service
+        self._post(done, _EV_LINK_FREE, u, d, None)
+        # Virtual cut-through: the *header* reaches v after the router/wire
+        # latency and may immediately compete for its next hop while the
+        # body still streams behind it (an unobstructed header races ahead,
+        # as on the real torus); the link itself stays busy for the full
+        # service time.  On the packet's FINAL hop the payload is only
+        # usable once its tail arrives, so delivery waits for the tail.
+        arrive = (done if pkt.dst == v else self._now) + self._hop_latency
+        self._post(arrive, _EV_ARRIVE, v, d ^ 1, pkt)
+
+    def _arbitrate_link(self, u: int, d: int) -> bool:
+        """Link (u, d) is free: pick one waiting head packet and launch it.
+        Dynamic-VC candidates win over bubble candidates; ties rotate."""
+        v = self._nbr[u][d]
+        if v < 0:
+            return False
+        li = u * self._ndirs + d
+        if self._link_busy[li] > self._now:
+            return False
+        nports = self._nports
+        nvc_ports = len(self._vc_ports)
+        vcq = self._vcq
+        fifo = self._fifo
+        qbase = u * self._ndirs * self._nvcs
+        fbase = u * self._nfifos
+        start = self._arb[li]
+        for dynamic_pass in (True, False):
+            for k in range(nports):
+                port = start + k
+                if port >= nports:
+                    port -= nports
+                if port < nvc_ports:
+                    in_dir, vc = self._vc_ports[port]
+                    q = vcq[qbase + in_dir * self._nvcs + vc]
+                    if not q:
+                        continue
+                    pkt = q[0]
+                    if pkt.dst == u:
+                        continue  # waiting for reception space
+                    use_vc = self._vc_for_link(
+                        u, d, v, pkt, in_dir >> 1, dynamic_pass
+                    )
+                    if use_vc < 0:
+                        continue
+                    q.popleft()
+                    # Virtual cut-through: the slot frees as the packet
+                    # streams out, so the credit returns at launch.
+                    self._post(self._now, _EV_TOKEN, u, in_dir, vc)
+                    self._launch(u, d, v, pkt, use_vc)
+                    self._arb[li] = port + 1 if port + 1 < nports else 0
+                    # The queue's new head may be deliverable locally or
+                    # able to use a different free link right now; no
+                    # future event is guaranteed to poke it, so advance
+                    # eagerly.
+                    self._advance_queue_head(u, in_dir, vc)
+                    return True
+                f = port - nvc_ports
+                fq = fifo[fbase + f]
+                if not fq:
+                    continue
+                pkt = fq[0]
+                use_vc = self._vc_for_link(u, d, v, pkt, -1, dynamic_pass)
+                if use_vc < 0:
+                    continue
+                fq.popleft()
+                self._post(self._now, _EV_FIFO_FREE, u, f, None)
+                self._launch(u, d, v, pkt, use_vc)
+                self._arb[li] = port + 1 if port + 1 < nports else 0
+                # Eagerly advance the FIFO's new head (see above).
+                self._advance_fifo_head(u, f)
+                return True
+        return False
+
+    def _try_send_head(self, u: int, pkt: Packet, in_axis: int) -> bool:
+        """Packet-centric attempt: launch *pkt* (a queue/FIFO head at *u*)
+        over the best free link right now (JSQ across its candidate
+        directions).  The caller pops the packet on success."""
+        link_busy = self._link_busy
+        nbr_u = self._nbr[u]
+        lbase = u * self._ndirs
+        now = self._now
+        dst = pkt.dst
+        if pkt.mode == _ADAPTIVE:
+            coord = self._coord
+            wrap = self._wrap
+            dims = self._dims
+            halves = self._half
+            tokens = self._tokens
+            halfbits = pkt.halfbits
+            best_d, best_vc, best_free = -1, -1, 0
+            for axis in range(self._ndim):
+                col = coord[axis]
+                disp = col[dst] - col[u]
+                if wrap[axis]:
+                    n = dims[axis]
+                    disp %= n
+                    h = halves[axis]
+                    if disp > h:
+                        disp -= n
+                    elif disp == h and not (n & 1) and not (halfbits >> axis) & 1:
+                        disp -= n
+                if disp == 0:
+                    continue
+                d = 2 * axis + (0 if disp > 0 else 1)
+                v = nbr_u[d]
+                if v < 0 or link_busy[lbase + d] > now:
+                    continue
+                base = (v * self._ndirs + (d ^ 1)) * self._nvcs
+                for vc in range(self._ndyn):
+                    f = tokens[base + vc]
+                    if f > best_free:
+                        best_d, best_vc, best_free = d, vc, f
+            if best_d >= 0:
+                self._launch(u, best_d, nbr_u[best_d], pkt, best_vc)
+                return True
+            # Bubble escape along the dimension-order direction.
+            d = self._dor_dir(u, pkt.dst, pkt.halfbits)
+            if d < 0:
+                return False
+            v = nbr_u[d]
+            if v < 0 or link_busy[lbase + d] > now:
+                return False
+            entering = pkt.vc != self._bubble or in_axis != (d >> 1)
+            base = (v * self._ndirs + (d ^ 1)) * self._nvcs
+            need = self._bubble_entry if entering else 1
+            if self._tokens[base + self._bubble] >= need:
+                self._launch(u, d, v, pkt, self._bubble)
+                return True
+            return False
+        d = self._dor_dir(u, pkt.dst, pkt.halfbits)
+        if d < 0:
+            return False
+        v = nbr_u[d]
+        if v < 0 or link_busy[lbase + d] > now:
+            return False
+        entering = pkt.vc != self._bubble or in_axis != (d >> 1)
+        base = (v * self._ndirs + (d ^ 1)) * self._nvcs
+        need = self._bubble_entry if entering else 1
+        if self._tokens[base + self._bubble] >= need:
+            self._launch(u, d, v, pkt, self._bubble)
+            return True
+        return False
+
+    def _advance_queue_head(self, u: int, in_dir: int, vc: int) -> None:
+        """Try to move the head packet of input queue (u, in_dir, vc):
+        deliver it locally or forward it over a free link."""
+        q = self._vcq[(u * self._ndirs + in_dir) * self._nvcs + vc]
+        while q:
+            pkt = q[0]
+            if pkt.dst == u:
+                if self._recv_free[u] <= 0:
+                    return
+                q.popleft()
+                self._recv_free[u] -= 1
+                self._recv_pending[u].append(pkt)
+                self._post(self._now, _EV_TOKEN, u, in_dir, vc)
+                self._cpu_maybe_start(u)
+                continue
+            if self._try_send_head(u, pkt, in_dir >> 1):
+                q.popleft()
+                self._post(self._now, _EV_TOKEN, u, in_dir, vc)
+                continue
+            return
+
+    def _advance_fifo_head(self, u: int, f: int) -> None:
+        """Try to launch the head packet of injection FIFO *f* at *u*."""
+        fq = self._fifo[u * self._nfifos + f]
+        while fq:
+            pkt = fq[0]
+            if not self._try_send_head(u, pkt, -1):
+                return
+            fq.popleft()
+            self._post(self._now, _EV_FIFO_FREE, u, f, None)
+
+    def _deliver_local_heads(self, u: int) -> None:
+        """A reception slot freed: move any waiting local-delivery heads."""
+        nvcs = self._nvcs
+        vcq = self._vcq
+        recv_free = self._recv_free
+        base = u * self._ndirs * nvcs
+        for qi in range(base, base + self._ndirs * nvcs):
+            if recv_free[u] <= 0:
+                return
+            if vcq[qi]:
+                off = qi - base
+                self._advance_queue_head(u, off // nvcs, off % nvcs)
+
+    # ------------------------------------------------------------------ #
+    # CPU model
+    # ------------------------------------------------------------------ #
+
+    def _cpu_maybe_start(self, u: int) -> None:
+        if not self._cpu_active[u]:
+            self._cpu_start_next(u)
+
+    def _plan_peek(self, u: int) -> Optional[PacketSpec]:
+        nxt = self._plan_next[u]
+        if nxt is None:
+            it = self._plan_iter[u]
+            if it is None:
+                return None
+            nxt = next(it, None)
+            if nxt is None:
+                self._plan_iter[u] = None
+                return None
+            self._plan_next[u] = nxt
+        return nxt
+
+    def _pick_fifo(self, u: int, group: int) -> int:
+        """Round-robin over the FIFOs of *group* with a free slot (-1 if
+        none).  Groups partition FIFOs by index modulo the group count."""
+        nf = self._nfifos
+        want = group % self._ngroups
+        base = self._fifo_rr[u]
+        fbase = u * nf
+        for k in range(nf):
+            f = base + k
+            if f >= nf:
+                f -= nf
+            if f % self._ngroups == want and self._fifo_free[fbase + f] > 0:
+                self._fifo_rr[u] = f + 1 if f + 1 < nf else 0
+                return f
+        return -1
+
+    def _cpu_cost(self, wire_bytes: int) -> float:
+        return self._cpu_fixed + wire_bytes * self._cpu_incr
+
+    def _cpu_start_next(self, u: int) -> None:
+        """Choose the next CPU op at *u* (round-robin over reception drain,
+        forward injection, plan injection) and schedule its completion."""
+        now = self._now
+        rr = self._cpu_rr[u]
+        wake_at = -1.0
+        for k in range(3):
+            src = rr + k
+            if src >= 3:
+                src -= 3
+            if src == _SRC_RECV:
+                rp = self._recv_pending[u]
+                if rp:
+                    pkt = rp.popleft()
+                    cost = self._cpu_cost(pkt.wire_bytes)
+                    self._cpu_pending[u] = ("recv", pkt)
+                    self._cpu_active[u] = True
+                    self._cpu_rr[u] = src + 1
+                    self._post(now + cost, _EV_CPU_DONE, u, 0, None)
+                    return
+            elif src == _SRC_FORWARD:
+                fp = self._fwd_pending[u]
+                if fp:
+                    spec = fp[0]
+                    f = self._pick_fifo(u, spec.fifo_group)
+                    if f >= 0:
+                        fp.popleft()
+                        self._begin_injection(u, spec, f, src)
+                        return
+            else:
+                spec = self._plan_peek(u)
+                if spec is not None:
+                    eligible = self._plan_last_start[u] + self._pace[u]
+                    if now < eligible:
+                        if wake_at < 0 or eligible < wake_at:
+                            wake_at = eligible
+                        continue
+                    f = self._pick_fifo(u, spec.fifo_group)
+                    if f >= 0:
+                        self._plan_next[u] = None
+                        self._plan_last_start[u] = now
+                        self._begin_injection(u, spec, f, src)
+                        return
+        self._cpu_active[u] = False
+        if wake_at > now:
+            self._post(wake_at, _EV_CPU_WAKE, u, 0, None)
+
+    def _begin_injection(
+        self, u: int, spec: PacketSpec, fifo: int, src: int
+    ) -> None:
+        """Reserve a FIFO slot and charge the CPU for injecting *spec*."""
+        self._fifo_free[u * self._nfifos + fifo] -= 1
+        cost = self._cpu_cost(spec.wire_bytes) + spec.extra_cpu_cycles
+        if spec.new_message:
+            cost += spec.alpha_cycles if spec.alpha_cycles >= 0 else self._alpha
+        self._cpu_pending[u] = ("inject", spec, fifo)
+        self._cpu_active[u] = True
+        self._cpu_rr[u] = src + 1
+        self._post(self._now + cost, _EV_CPU_DONE, u, 0, None)
+
+    def _cpu_complete(self, u: int) -> None:
+        """Finalize the pending CPU op at *u*, then start the next one."""
+        op = self._cpu_pending[u]
+        self._cpu_pending[u] = None
+        assert op is not None, "CPU completion with no pending op"
+        if op[0] == "recv":
+            pkt: Packet = op[1]
+            self._recv_free[u] += 1
+            self._finish_delivery(u, pkt)
+            self._deliver_local_heads(u)
+        else:  # inject
+            spec: PacketSpec = op[1]
+            fifo: int = op[2]
+            pkt = Packet.from_spec(next(self._pid), u, spec, self._now)
+            self.stats.injected_packets += 1
+            self.stats.injected_wire_bytes += spec.wire_bytes
+            if pkt.dst == u:
+                # Local (self) message: bypasses the network entirely.
+                self._fifo_free[u * self._nfifos + fifo] += 1
+                self._finish_delivery(u, pkt)
+            else:
+                fq = self._fifo[u * self._nfifos + fifo]
+                fq.append(pkt)
+                if len(fq) == 1:
+                    self._advance_fifo_head(u, fifo)
+        self._cpu_start_next(u)
+
+    def _finish_delivery(self, u: int, pkt: Packet) -> None:
+        """Record a drained packet and run the program's delivery hook."""
+        now = self._now
+        pkt.deliver_time = now
+        st = self.stats
+        st.delivered_packets += 1
+        st.last_delivery = now
+        if pkt.final_dst == u:
+            st.final_deliveries += 1
+            st.last_final_delivery = now
+            lat = now - pkt.inject_time
+            st.final_latency_sum += lat
+            if lat > st.final_latency_max:
+                st.final_latency_max = lat
+        else:
+            st.forwarded_packets += 1
+        assert self._program is not None
+        fwd = self._program.on_delivery(u, pkt, now)
+        if fwd:
+            fp = self._fwd_pending[u]
+            fp.extend(fwd)
+            if len(fp) > st.peak_forward_backlog:
+                st.peak_forward_backlog = len(fp)
+
+    # ------------------------------------------------------------------ #
+    # main loop
+    # ------------------------------------------------------------------ #
+
+    def run(self, program: NodeProgram) -> SimulationResult:
+        """Execute *program* to quiescence and return the results."""
+        self._program = program
+        for u in range(self._p):
+            self._plan_iter[u] = iter(program.injection_plan(u))
+            self._pace[u] = program.pace_cycles(u)
+            self._cpu_maybe_start(u)
+
+        events = self._events
+        max_cycles = self.config.max_cycles
+        max_events = self.config.max_events
+        st = self.stats
+        n_events = 0
+
+        while events:
+            t, _, kind, a, b, c = heappop(events)
+            self._now = t
+            n_events += 1
+            if kind == _EV_ARRIVE:
+                self._on_arrive(a, b, c)
+            elif kind == _EV_TOKEN:
+                self._tokens[(a * self._ndirs + b) * self._nvcs + c] += 1
+                w = self._nbr[a][b]
+                if w >= 0:
+                    self._arbitrate_link(w, b ^ 1)
+            elif kind == _EV_LINK_FREE:
+                self._arbitrate_link(a, b)
+            elif kind == _EV_CPU_DONE:
+                self._cpu_complete(a)
+            elif kind == _EV_FIFO_FREE:
+                self._fifo_free[a * self._nfifos + b] += 1
+                self._cpu_maybe_start(a)
+            else:  # _EV_CPU_WAKE
+                self._cpu_maybe_start(a)
+            if t > max_cycles:
+                raise SimulationLimitError(
+                    f"simulation exceeded {max_cycles:.3g} cycles"
+                )
+            if n_events > max_events:
+                raise SimulationLimitError(
+                    f"simulation exceeded {max_events} events"
+                )
+
+        st.events_processed = n_events
+        self._check_quiescent()
+        expected = program.expected_final_deliveries()
+        if st.final_deliveries != expected:
+            raise DeadlockError(
+                f"completed with {st.final_deliveries} final deliveries, "
+                f"expected {expected}"
+            )
+        return self._result()
+
+    def _on_arrive(self, v: int, in_dir: int, pkt: Packet) -> None:
+        qi = (v * self._ndirs + in_dir) * self._nvcs + pkt.vc
+        q = self._vcq[qi]
+        if pkt.dst == v and not q and self._recv_free[v] > 0:
+            # Straight into the reception FIFO; the slot frees immediately.
+            self._recv_free[v] -= 1
+            self._recv_pending[v].append(pkt)
+            self._post(self._now, _EV_TOKEN, v, in_dir, pkt.vc)
+            self._cpu_maybe_start(v)
+            return
+        q.append(pkt)
+        if len(q) == 1:
+            self._advance_queue_head(v, in_dir, pkt.vc)
+
+    # ------------------------------------------------------------------ #
+    # completion
+    # ------------------------------------------------------------------ #
+
+    def _check_quiescent(self) -> None:
+        """Verify no packet or work item is stranded after the event queue
+        drained; raise :class:`DeadlockError` with diagnostics otherwise."""
+        problems = []
+        for u in range(self._p):
+            if self._plan_peek(u) is not None:
+                problems.append(f"node {u}: plan not exhausted")
+            if self._fwd_pending[u]:
+                problems.append(
+                    f"node {u}: {len(self._fwd_pending[u])} forwards pending"
+                )
+            if self._recv_pending[u]:
+                problems.append(
+                    f"node {u}: {len(self._recv_pending[u])} receptions pending"
+                )
+            if self._cpu_active[u]:
+                problems.append(f"node {u}: CPU op pending")
+        if any(self._fifo):
+            problems.append("injection FIFOs non-empty")
+        stranded = sum(len(q) for q in self._vcq)
+        if stranded:
+            problems.append(f"{stranded} packets stranded in VC buffers")
+        if problems:
+            head = "; ".join(problems[:10])
+            raise DeadlockError(
+                f"network not quiescent after event drain: {head}"
+                + ("; ..." if len(problems) > 10 else "")
+            )
+
+    def _result(self) -> SimulationResult:
+        st = self.stats
+        mean_lat = (
+            st.final_latency_sum / st.final_deliveries
+            if st.final_deliveries
+            else 0.0
+        )
+        busy = np.asarray(self._busy_cycles, dtype=np.float64).reshape(
+            self._p, self._ndirs
+        )
+        return SimulationResult(
+            time_cycles=st.last_final_delivery,
+            link_busy_cycles=busy,
+            num_links=self.topo.num_links,
+            injected_packets=st.injected_packets,
+            delivered_packets=st.delivered_packets,
+            final_deliveries=st.final_deliveries,
+            forwarded_packets=st.forwarded_packets,
+            injected_wire_bytes=st.injected_wire_bytes,
+            total_hops=st.total_hops,
+            events_processed=st.events_processed,
+            mean_final_latency=mean_lat,
+            max_final_latency=st.final_latency_max,
+            peak_forward_backlog=st.peak_forward_backlog,
+        )

@@ -1,0 +1,5 @@
+"""Runtime facade: the mpi4py-flavoured :class:`Communicator`."""
+
+from repro.runtime.communicator import Communicator, ExchangeOutcome
+
+__all__ = ["Communicator", "ExchangeOutcome"]

@@ -1,0 +1,182 @@
+"""Strategy interface: every all-to-all algorithm builds a node program.
+
+A strategy is a *planner*: given a partition shape and message size it
+produces (a) a :class:`repro.net.NodeProgram` executable by both the timed
+simulator and the functional data engine, and (b) an analytic prediction of
+its cost (the paper's Eq. 3/4 family).  Strategies are stateless and
+reusable across shapes.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.model.machine import MachineParams
+from repro.model.torus import TorusShape
+from repro.net.packet import PacketSpec
+from repro.net.program import BaseProgram
+from repro.strategies.data import ChunkTag, DataChunk
+from repro.util.rng import derive_rng
+from repro.util.validation import require
+
+
+class AllToAllStrategy(abc.ABC):
+    """Base class of the paper's all-to-all algorithms."""
+
+    #: Short identifier used in tables and benchmark output.
+    name: str = "abstract"
+    #: Injection-FIFO reservation groups the program uses (TPS: 2).
+    fifo_groups: int = 1
+
+    @abc.abstractmethod
+    def build_program(
+        self,
+        shape: TorusShape,
+        msg_bytes: int,
+        params: Optional[MachineParams] = None,
+        seed: int = 0,
+        carry_data: bool = False,
+    ) -> BaseProgram:
+        """Build the node program for one all-to-all of *msg_bytes* per
+        (ordered) rank pair on *shape*.
+
+        ``carry_data=True`` attaches :class:`DataChunk` descriptors for the
+        functional engine (costs memory; timed runs leave it off).
+        """
+
+    @abc.abstractmethod
+    def predict_cycles(
+        self,
+        shape: TorusShape,
+        msg_bytes: int,
+        params: Optional[MachineParams] = None,
+    ) -> float:
+        """Analytic completion-time prediction, cycles."""
+
+    def supports(self, shape: TorusShape) -> bool:
+        """Whether the strategy applies to *shape* (e.g. TPS needs >= 2
+        dimensions)."""
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class DirectProgramBase(BaseProgram):
+    """Shared machinery of direct (and phase-1-like) injection plans:
+    a randomized destination permutation per node, packetized messages,
+    round-robin over destinations with a configurable number of packets
+    per destination per round (the production-MPI tuning parameter of
+    Section 3)."""
+
+    def __init__(
+        self,
+        shape: TorusShape,
+        msg_bytes: int,
+        params: MachineParams,
+        seed: int,
+        carry_data: bool,
+        packets_per_round: int = 2,
+    ) -> None:
+        require(msg_bytes >= 1, "msg_bytes must be >= 1")
+        require(packets_per_round >= 1, "packets_per_round must be >= 1")
+        self.shape = shape
+        self.msg_bytes = msg_bytes
+        self.params = params
+        self.seed = seed
+        self.carry_data = carry_data
+        self.packets_per_round = packets_per_round
+        #: Wire sizes of one message's packets (header in the first).
+        self.packet_sizes = params.packetize_message(msg_bytes)
+        #: Payload bytes carried by each packet of a message.
+        self.payload_split = self._payload_split()
+
+    def _payload_split(self) -> list[int]:
+        """How the m payload bytes distribute over the message's packets.
+
+        The first packet carries the 48 B header and whatever payload fits
+        beside it; subsequent packets carry up to 240 B payload each (the
+        wire size also covers link-protocol bytes, hence payload <= wire).
+        """
+        p = self.params
+        remaining = self.msg_bytes
+        split: list[int] = []
+        first_room = max(0, p.packet_max_bytes - p.header_bytes)
+        take = min(remaining, first_room)
+        split.append(take)
+        remaining -= take
+        while remaining > 0:
+            take = min(remaining, p.packet_max_bytes)
+            split.append(take)
+            remaining -= take
+        # packetize_message() computed sizes from the same arithmetic, so
+        # the two decompositions must agree in length.
+        assert len(split) == len(self.packet_sizes), (split, self.packet_sizes)
+        return split
+
+    def destination_order(self, node: int) -> np.ndarray:
+        """Random permutation of the other P-1 ranks, derived from the
+        experiment seed and the node id (independent across nodes)."""
+        p = self.shape.nnodes
+        rng = derive_rng(self.seed, "destorder", node)
+        dests = np.arange(p, dtype=np.int64)
+        dests = np.delete(dests, node)
+        rng.shuffle(dests)
+        return dests
+
+    def message_packets(
+        self, src: int, dst: int, kind: str, spec_dst: int,
+        fifo_group: int = 0,
+    ) -> list[PacketSpec]:
+        """Packet specs of one (src -> dst) message, network-addressed to
+        *spec_dst* (== dst for direct sends, an intermediate for TPS)."""
+        specs: list[PacketSpec] = []
+        offset = 0
+        for i, wire in enumerate(self.packet_sizes):
+            payload = self.payload_split[i]
+            if self.carry_data and payload > 0:
+                tag: object = ChunkTag(
+                    kind, (DataChunk(src, dst, offset, payload),)
+                )
+            else:
+                tag = kind
+            specs.append(
+                PacketSpec(
+                    dst=spec_dst,
+                    wire_bytes=wire,
+                    fifo_group=fifo_group,
+                    new_message=(i == 0),
+                    tag=tag,
+                    final_dst=dst,
+                    payload_bytes=payload,
+                )
+            )
+            offset += payload
+        return specs
+
+    def round_robin_specs(
+        self, node: int, per_dest_specs: dict[int, list[PacketSpec]]
+    ) -> Iterator[PacketSpec]:
+        """Interleave the per-destination packet lists: *packets_per_round*
+        packets to each destination (in this node's random order) per
+        sweep, repeating until all packets are gone."""
+        order = [d for d in self.destination_order(node) if d in per_dest_specs]
+        cursors = {d: 0 for d in order}
+        remaining = sum(len(v) for v in per_dest_specs.values())
+        k = self.packets_per_round
+        while remaining > 0:
+            progressed = False
+            for d in order:
+                c = cursors[d]
+                specs = per_dest_specs[d]
+                take = min(k, len(specs) - c)
+                for i in range(take):
+                    yield specs[c + i]
+                if take:
+                    cursors[d] = c + take
+                    remaining -= take
+                    progressed = True
+            assert progressed, "round-robin failed to progress"

@@ -1,0 +1,69 @@
+"""Payload descriptors carried by packets for data-correctness execution.
+
+The timed simulator treats packet tags as opaque.  The functional engine
+(:mod:`repro.functional`) instead interprets tags that carry
+:class:`DataChunk` descriptors to verify that every strategy moves every
+byte of the all-to-all exactly once to exactly the right rank.
+
+A chunk describes ``nbytes`` of rank *src*'s message to rank *dst*,
+starting at byte *offset* of that message.  Combined messages (VMesh) carry
+several chunks per packet; direct and TPS packets carry one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.net.packet import Packet
+
+
+@dataclass(frozen=True)
+class DataChunk:
+    """A contiguous piece of one (src, dst) all-to-all message."""
+
+    src: int
+    dst: int
+    offset: int
+    nbytes: int
+
+    def __post_init__(self) -> None:
+        if self.offset < 0 or self.nbytes <= 0:
+            raise ValueError("chunk must have offset >= 0 and nbytes > 0")
+
+
+@dataclass(frozen=True)
+class ChunkTag:
+    """Packet tag carrying data chunks plus a strategy-specific marker.
+
+    ``kind`` identifies the traffic class (``"direct"``, ``"tps1"``,
+    ``"vmesh1"``, ...) so forwarding hooks can dispatch without inspecting
+    chunk contents.
+    """
+
+    kind: str
+    chunks: tuple[DataChunk, ...] = ()
+    #: Optional strategy payload (e.g. the VMesh sender's row position).
+    meta: object = None
+
+
+def chunks_of(packet: Packet) -> tuple[DataChunk, ...]:
+    """Extract the chunks of a packet, or () when it carries none (timed
+    runs that skip data materialization)."""
+    tag = packet.tag
+    if isinstance(tag, ChunkTag):
+        return tag.chunks
+    return ()
+
+
+def tag_kind(packet: Packet) -> Optional[str]:
+    """The traffic-class marker of a packet's tag, if any."""
+    tag = packet.tag
+    if isinstance(tag, ChunkTag):
+        return tag.kind
+    return tag if isinstance(tag, str) else None
+
+
+def total_chunk_bytes(chunks: Iterable[DataChunk]) -> int:
+    """Sum of chunk sizes."""
+    return sum(c.nbytes for c in chunks)

@@ -1,0 +1,282 @@
+"""Many-to-many (irregular personalized) communication — the paper's
+stated follow-on target ("we hope the performance analysis and the
+optimization techniques ... can also be applied for more complex
+many-to-many communication patterns"), with the HPCC RandomAccess-style
+update pattern it cites [5] as the motivating instance.
+
+Two traffic models are provided:
+
+* :class:`ManyToManyPattern` — an explicit, possibly sparse and
+  non-uniform traffic matrix ``bytes[src][dst]``, e.g. the neighbor
+  exchange of an irregular mesh partitioner.
+* :func:`random_access_pattern` — GUPS-like traffic: each node issues
+  many small updates to uniformly random ranks.
+
+Both can run *direct* (each message straight to its destination, AR
+style) or through the same indirect machinery the paper built for
+all-to-all: TPS-style linear-dimension forwarding
+(:class:`ManyToManyTPS`), which inherits the asymmetric-torus benefits,
+and is how the RandomAccess optimization of [5] aggregates by dimension.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Optional
+
+import numpy as np
+
+from repro.model.machine import MachineParams
+from repro.model.torus import TorusShape
+from repro.net.packet import Packet, PacketSpec, RoutingMode
+from repro.net.program import BaseProgram
+from repro.strategies.base import AllToAllStrategy
+from repro.strategies.tps import PHASE1_GROUP, PHASE2_GROUP, choose_linear_axis
+from repro.util.rng import derive_rng
+from repro.util.validation import require
+
+
+class ManyToManyPattern:
+    """A traffic matrix: ``bytes_for(src, dst)`` bytes per ordered pair.
+
+    Construct from a dense matrix, a sparse dict, or a generator
+    function.  Self-traffic is ignored.
+    """
+
+    def __init__(
+        self,
+        nnodes: int,
+        matrix: Optional[np.ndarray] = None,
+        sparse: Optional[Mapping[tuple[int, int], int]] = None,
+    ) -> None:
+        require(
+            (matrix is None) != (sparse is None),
+            "provide exactly one of matrix/sparse",
+        )
+        self.nnodes = nnodes
+        if matrix is not None:
+            m = np.asarray(matrix)
+            require(m.shape == (nnodes, nnodes), "matrix must be (P, P)")
+            require((m >= 0).all(), "traffic must be non-negative")
+            self._matrix = m.astype(np.int64)
+        else:
+            self._matrix = np.zeros((nnodes, nnodes), dtype=np.int64)
+            assert sparse is not None
+            for (s, d), b in sparse.items():
+                require(0 <= s < nnodes and 0 <= d < nnodes, "rank range")
+                self._matrix[s, d] = int(b)
+
+    def bytes_for(self, src: int, dst: int) -> int:
+        """Traffic bytes from *src* to *dst*."""
+        return int(self._matrix[src, dst])
+
+    def destinations(self, src: int) -> np.ndarray:
+        """Ranks *src* sends to (nonzero, self excluded)."""
+        row = self._matrix[src].copy()
+        row[src] = 0
+        return np.nonzero(row)[0]
+
+    @property
+    def total_bytes(self) -> int:
+        """Total off-diagonal traffic."""
+        m = self._matrix
+        return int(m.sum() - np.trace(m))
+
+    def max_incast(self) -> int:
+        """Heaviest per-destination inbound byte load (hot-spot metric)."""
+        m = self._matrix.copy()
+        np.fill_diagonal(m, 0)
+        return int(m.sum(axis=0).max(initial=0))
+
+
+def random_access_pattern(
+    shape: TorusShape,
+    updates_per_node: int,
+    update_bytes: int = 8,
+    seed: int = 0,
+) -> ManyToManyPattern:
+    """GUPS-style traffic: *updates_per_node* updates of *update_bytes*
+    each, to uniformly random other ranks (HPCC RandomAccess, [5])."""
+    p = shape.nnodes
+    rng = derive_rng(seed, "gups")
+    matrix = np.zeros((p, p), dtype=np.int64)
+    for src in range(p):
+        dsts = rng.integers(0, p - 1, updates_per_node)
+        dsts = dsts + (dsts >= src)  # skip self
+        counts = np.bincount(dsts, minlength=p)
+        matrix[src] += counts * update_bytes
+    np.fill_diagonal(matrix, 0)
+    return ManyToManyPattern(p, matrix=matrix)
+
+
+class _M2MDirectProgram(BaseProgram):
+    """Direct sends of a traffic matrix, randomized destination order."""
+
+    def __init__(
+        self,
+        shape: TorusShape,
+        pattern: ManyToManyPattern,
+        params: MachineParams,
+        seed: int,
+        mode: RoutingMode = RoutingMode.ADAPTIVE,
+    ) -> None:
+        self.shape = shape
+        self.pattern = pattern
+        self.params = params
+        self.seed = seed
+        self.mode = mode
+        self._expected = 0
+        for src in range(shape.nnodes):
+            for dst in pattern.destinations(src):
+                self._expected += len(
+                    params.packetize_message(pattern.bytes_for(src, int(dst)))
+                )
+
+    def injection_plan(self, node: int) -> Iterator[PacketSpec]:
+        dests = self.pattern.destinations(node)
+        rng = derive_rng(self.seed, "m2m", node)
+        rng.shuffle(dests)
+        for dst in dests:
+            dst = int(dst)
+            for i, wire in enumerate(
+                self.params.packetize_message(self.pattern.bytes_for(node, dst))
+            ):
+                yield PacketSpec(
+                    dst=dst,
+                    wire_bytes=wire,
+                    mode=self.mode,
+                    new_message=(i == 0),
+                    tag="m2m",
+                    final_dst=dst,
+                )
+
+    def expected_final_deliveries(self) -> int:
+        return self._expected
+
+
+class _M2MTPSProgram(_M2MDirectProgram):
+    """TPS-style forwarding of a traffic matrix: phase 1 along the linear
+    dimension to the matching intermediate, phase 2 across the plane."""
+
+    def __init__(self, *args, linear_axis: Optional[int] = None, **kw) -> None:
+        super().__init__(*args, **kw)
+        self.linear_axis = (
+            choose_linear_axis(self.shape) if linear_axis is None else linear_axis
+        )
+        self._stride = 1
+        for a in range(self.linear_axis):
+            self._stride *= self.shape.dims[a]
+
+    def _intermediate(self, src: int, dst: int) -> int:
+        n = self.shape.dims[self.linear_axis]
+        src_c = (src // self._stride) % n
+        dst_c = (dst // self._stride) % n
+        return src + (dst_c - src_c) * self._stride
+
+    def injection_plan(self, node: int) -> Iterator[PacketSpec]:
+        dests = self.pattern.destinations(node)
+        rng = derive_rng(self.seed, "m2mtps", node)
+        rng.shuffle(dests)
+        for dst in dests:
+            dst = int(dst)
+            mid = self._intermediate(node, dst)
+            direct = mid == node
+            for i, wire in enumerate(
+                self.params.packetize_message(self.pattern.bytes_for(node, dst))
+            ):
+                yield PacketSpec(
+                    dst=dst if direct else mid,
+                    wire_bytes=wire,
+                    mode=RoutingMode.ADAPTIVE,
+                    fifo_group=PHASE2_GROUP if direct else PHASE1_GROUP,
+                    new_message=(i == 0),
+                    tag="m2m-tps1" if not direct else "m2m-tps2",
+                    final_dst=dst,
+                )
+
+    def on_delivery(
+        self, node: int, packet: Packet, now: float
+    ) -> Iterable[PacketSpec]:
+        if packet.final_dst == node:
+            return ()
+        return (
+            PacketSpec(
+                dst=packet.final_dst,
+                wire_bytes=packet.wire_bytes,
+                mode=RoutingMode.ADAPTIVE,
+                fifo_group=PHASE2_GROUP,
+                tag="m2m-tps2",
+                final_dst=packet.final_dst,
+            ),
+        )
+
+
+class ManyToManyDirect(AllToAllStrategy):
+    """Direct (AR-style) execution of a many-to-many pattern.
+
+    ``msg_bytes`` in the strategy API is ignored — the pattern carries
+    per-pair sizes.
+    """
+
+    name = "M2M-direct"
+
+    def __init__(self, pattern: ManyToManyPattern) -> None:
+        self.pattern = pattern
+
+    def build_program(
+        self,
+        shape: TorusShape,
+        msg_bytes: int = 0,
+        params: Optional[MachineParams] = None,
+        seed: int = 0,
+        carry_data: bool = False,
+    ) -> _M2MDirectProgram:
+        require(not carry_data, "many-to-many programs carry no data chunks")
+        params = params or MachineParams.bluegene_l()
+        require(self.pattern.nnodes == shape.nnodes, "pattern/shape mismatch")
+        return _M2MDirectProgram(shape, self.pattern, params, seed)
+
+    def predict_cycles(
+        self,
+        shape: TorusShape,
+        msg_bytes: int = 0,
+        params: Optional[MachineParams] = None,
+    ) -> float:
+        """Bisection bound generalized to the pattern's actual volume,
+        plus per-message startups."""
+        params = params or MachineParams.bluegene_l()
+        p = shape.nnodes
+        vol = self.pattern.total_bytes
+        # Average per-node volume drives the Eq. 2-style term.
+        mean_m = vol / max(1, p * (p - 1))
+        msgs = sum(len(self.pattern.destinations(s)) for s in range(p)) / p
+        return msgs * params.alpha_packet_cycles + p * (
+            shape.contention_factor * mean_m * (p - 1) / p
+        ) * params.beta_cycles_per_byte * (p - 1)
+
+
+class ManyToManyTPS(ManyToManyDirect):
+    """TPS-style indirect execution of a many-to-many pattern."""
+
+    name = "M2M-TPS"
+    fifo_groups = 2
+
+    def __init__(
+        self, pattern: ManyToManyPattern, linear_axis: Optional[int] = None
+    ) -> None:
+        super().__init__(pattern)
+        self.linear_axis = linear_axis
+
+    def build_program(
+        self,
+        shape: TorusShape,
+        msg_bytes: int = 0,
+        params: Optional[MachineParams] = None,
+        seed: int = 0,
+        carry_data: bool = False,
+    ) -> _M2MTPSProgram:
+        require(not carry_data, "many-to-many programs carry no data chunks")
+        params = params or MachineParams.bluegene_l()
+        require(self.pattern.nnodes == shape.nnodes, "pattern/shape mismatch")
+        return _M2MTPSProgram(
+            shape, self.pattern, params, seed, linear_axis=self.linear_axis
+        )

@@ -1,0 +1,130 @@
+"""Coordinate algebra on mesh/torus partitions.
+
+Blue Gene/L partitions are one-, two- or three-dimensional grids where every
+dimension is independently either a *torus* (wrap links present) or a *mesh*
+(no wrap links).  Ranks are linearized X-fastest, matching the BG/L XYZ
+coordinate order used throughout the paper: rank = x + Px*(y + Py*z).
+
+All functions are shape-generic (any number of dimensions >= 1) so the same
+code serves the paper's line (1-D), plane (2-D) and 3-D torus experiments.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Sequence
+
+from repro.util.validation import require
+
+Coord = tuple[int, ...]
+
+
+def coord_to_rank(coord: Sequence[int], dims: Sequence[int]) -> int:
+    """Linearize *coord* on a grid of extents *dims*, X (dims[0]) fastest.
+
+    >>> coord_to_rank((1, 2, 3), (8, 8, 8))
+    209
+    """
+    require(len(coord) == len(dims), "coord/dims dimensionality mismatch")
+    rank = 0
+    stride = 1
+    for c, d in zip(coord, dims):
+        require(0 <= c < d, f"coordinate {c} out of range [0,{d})")
+        rank += c * stride
+        stride *= d
+    return rank
+
+
+def rank_to_coord(rank: int, dims: Sequence[int]) -> Coord:
+    """Inverse of :func:`coord_to_rank`.
+
+    >>> rank_to_coord(209, (8, 8, 8))
+    (1, 2, 3)
+    """
+    total = 1
+    for d in dims:
+        total *= d
+    require(0 <= rank < total, f"rank {rank} out of range [0,{total})")
+    coord = []
+    for d in dims:
+        coord.append(rank % d)
+        rank //= d
+    return tuple(coord)
+
+
+def all_coords(dims: Sequence[int]) -> Iterator[Coord]:
+    """Iterate every coordinate of the grid in rank order (X fastest)."""
+    # itertools.product varies the *last* axis fastest, so reverse twice.
+    for rev in itertools.product(*(range(d) for d in reversed(dims))):
+        yield tuple(reversed(rev))
+
+
+def signed_displacement(src: int, dst: int, size: int, torus: bool) -> int:
+    """Shortest signed per-dimension displacement from *src* to *dst*.
+
+    On a torus dimension the displacement is wrap-aware and lies in
+    (-size/2, size/2]; ties (exactly size/2 on an even torus) break toward
+    the positive direction, matching the deterministic tie-break used by the
+    BG/L routing hardware description.  On a mesh dimension it is simply
+    ``dst - src``.
+    """
+    require(0 <= src < size and 0 <= dst < size, "coordinate out of range")
+    if not torus:
+        return dst - src
+    d = (dst - src) % size
+    if d > size // 2:
+        d -= size
+    elif d == size // 2 and size % 2 == 0:
+        # exactly halfway: either direction is shortest; pick +.
+        d = size // 2
+    return d
+
+
+def hop_vector(
+    src: Sequence[int],
+    dst: Sequence[int],
+    dims: Sequence[int],
+    torus: Sequence[bool],
+) -> Coord:
+    """Per-dimension signed hop counts along a shortest path."""
+    require(
+        len(src) == len(dst) == len(dims) == len(torus),
+        "dimensionality mismatch",
+    )
+    return tuple(
+        signed_displacement(s, d, n, t)
+        for s, d, n, t in zip(src, dst, dims, torus)
+    )
+
+
+def hop_count(
+    src: Sequence[int],
+    dst: Sequence[int],
+    dims: Sequence[int],
+    torus: Sequence[bool],
+) -> int:
+    """Total (Manhattan, wrap-aware) hops along a shortest path."""
+    return sum(abs(h) for h in hop_vector(src, dst, dims, torus))
+
+
+def mean_hops_per_dim(size: int, torus: bool) -> float:
+    """Average |displacement| in one dimension over all ordered (src, dst)
+    pairs drawn uniformly (self-pairs included, as in the paper's model).
+
+    Torus of size n: paper's Section 2 uses n/4.  The exact all-pairs
+    average is n/4 for even n (each |d| in 1..n/2-1 appears twice per
+    source, d = n/2 once), and (n^2-1)/(4n) for odd n; we return the exact
+    value and note that it equals the paper's n/4 for the even sizes BG/L
+    uses.
+
+    Mesh of size n: exact all-pairs average is (n^2 - 1) / (3 n).
+    """
+    require(size >= 1, "dimension size must be >= 1")
+    n = size
+    if n == 1:
+        return 0.0
+    if torus:
+        if n % 2 == 0:
+            return n / 4.0
+        return (n * n - 1) / (4.0 * n)
+    return (n * n - 1) / (3.0 * n)

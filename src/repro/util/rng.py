@@ -1,0 +1,38 @@
+"""Deterministic derivation of independent random streams.
+
+Every stochastic component (per-node destination permutations, arbitration
+tie-breaks, ...) derives its own :class:`numpy.random.Generator` from a
+single experiment seed plus a structured key, so results are reproducible
+regardless of the order in which components draw.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Union
+
+import numpy as np
+
+KeyPart = Union[int, str]
+
+
+def derive_seed(seed: int, *key: KeyPart) -> int:
+    """Derive a child seed from *seed* and a structured *key*.
+
+    The key parts (ints or strings) are folded through CRC32 so that
+    ("node", 12) and ("node", 21) give unrelated child seeds.  Stable across
+    runs and platforms.
+    """
+    h = zlib.crc32(repr(int(seed)).encode())
+    for part in key:
+        h = zlib.crc32(repr(part).encode(), h)
+    return h & 0x7FFFFFFF
+
+
+def derive_rng(seed: int, *key: KeyPart) -> np.random.Generator:
+    """Return an independent ``Generator`` for (*seed*, *key*).
+
+    Uses ``SeedSequence`` spawned from the derived child seed, giving
+    high-quality independent streams.
+    """
+    return np.random.default_rng(np.random.SeedSequence(derive_seed(seed, *key)))

@@ -1,0 +1,40 @@
+"""Unit tests for CSV export."""
+
+from pathlib import Path
+
+from repro.analysis.export import export_all, to_csv_text, write_csv
+from repro.experiments.common import ExperimentResult
+
+
+def make_result():
+    return ExperimentResult(
+        "exp1", "title", ["a", "b"],
+        rows=[{"a": 1, "b": 2.5}, {"a": 3, "b": None}],
+    )
+
+
+def test_csv_text_header_and_rows():
+    text = to_csv_text(make_result())
+    lines = text.strip().splitlines()
+    assert lines[0] == "a,b"
+    assert lines[1] == "1,2.5"
+    assert len(lines) == 3
+
+
+def test_write_csv(tmp_path: Path):
+    p = write_csv(make_result(), tmp_path / "sub" / "out.csv")
+    assert p.exists()
+    assert p.read_text().startswith("a,b")
+
+
+def test_export_all(tmp_path: Path):
+    r1, r2 = make_result(), make_result()
+    r2.exp_id = "exp2"
+    paths = export_all([r1, r2], tmp_path)
+    assert {p.name for p in paths} == {"exp1.csv", "exp2.csv"}
+
+
+def test_extra_row_keys_ignored():
+    r = make_result()
+    r.rows.append({"a": 9, "b": 9, "zzz": 1})
+    assert "zzz" not in to_csv_text(r)

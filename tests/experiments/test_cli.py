@@ -1,0 +1,30 @@
+"""CLI smoke tests (bgl-alltoall)."""
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "tab3_tps" in out
+    assert "[paper]" in out
+    assert "[ablation]" in out
+
+
+def test_run_model_experiment(capsys):
+    assert main(["run", "fig5_vmesh_pred", "--scale", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "[fig5_vmesh_pred]" in out
+    assert "VMesh pred us" in out
+
+
+def test_run_unknown_id():
+    with pytest.raises(KeyError):
+        main(["run", "nope"])
+
+
+def test_bad_scale_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "fig5_vmesh_pred", "--scale", "huge"])

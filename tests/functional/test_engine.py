@@ -1,0 +1,154 @@
+"""Unit tests for the functional execution engine and verification."""
+
+import pytest
+
+from repro.functional.engine import FunctionalEngine
+from repro.functional.verify import run_and_verify, verify_exchange
+from repro.model.machine import MachineParams
+from repro.model.torus import TorusShape
+from repro.net.packet import PacketSpec
+from repro.net.program import ListProgram
+from repro.strategies import ARDirect, TwoPhaseSchedule, VirtualMesh2D
+from repro.strategies.data import ChunkTag, DataChunk
+
+
+@pytest.fixture
+def bgl():
+    return MachineParams.bluegene_l()
+
+
+def chunk_spec(src, dst, offset, nbytes, kind="direct"):
+    return PacketSpec(
+        dst=dst,
+        wire_bytes=64,
+        tag=ChunkTag(kind, (DataChunk(src, dst, offset, nbytes),)),
+        final_dst=dst,
+        payload_bytes=nbytes,
+    )
+
+
+class TestEngine:
+    def test_collects_chunks(self):
+        shape = TorusShape.parse("4")
+        plans = [[chunk_spec(0, 1, 0, 10)], [], [], []]
+        res = FunctionalEngine(shape).execute(ListProgram(plans))
+        assert (0, 1) in res.received
+        assert res.packets_delivered == 1
+
+    def test_forward_depth(self, bgl):
+        shape = TorusShape.parse("4x4x8")
+        prog = TwoPhaseSchedule().build_program(shape, 16, bgl, carry_data=True)
+        res = FunctionalEngine(shape).execute(prog)
+        assert res.max_forward_depth == 1  # one forwarding phase
+
+    def test_direct_has_no_forwarding(self, bgl):
+        shape = TorusShape.parse("4x4")
+        prog = ARDirect().build_program(shape, 16, bgl, carry_data=True)
+        res = FunctionalEngine(shape).execute(prog)
+        assert res.packets_forwarded == 0
+        assert res.max_forward_depth == 0
+
+    def test_indirect_buffers_intermediate_memory(self, bgl):
+        # Section 4: indirect strategies pay extra intermediate space.
+        shape = TorusShape.parse("4x4x8")
+        direct = FunctionalEngine(shape).execute(
+            ARDirect().build_program(shape, 16, bgl, carry_data=True)
+        )
+        indirect = FunctionalEngine(shape).execute(
+            TwoPhaseSchedule().build_program(shape, 16, bgl, carry_data=True)
+        )
+        assert direct.peak_intermediate_bytes == 0
+        assert indirect.peak_intermediate_bytes > 0
+
+
+class TestVerification:
+    def test_complete_exchange_passes(self):
+        rep = verify_exchange(
+            _manual_result({(0, 1): [(0, 10)], (1, 0): [(0, 10)]}), 2, 10
+        )
+        assert rep.ok
+
+    def test_missing_pair_detected(self):
+        rep = verify_exchange(_manual_result({(0, 1): [(0, 10)]}), 2, 10)
+        assert not rep.ok
+        assert (1, 0) in rep.missing_pairs
+
+    def test_gap_detected(self):
+        rep = verify_exchange(
+            _manual_result({(0, 1): [(0, 4), (6, 4)], (1, 0): [(0, 10)]}), 2, 10
+        )
+        assert not rep.ok
+        assert rep.bad_coverage and "gap" in rep.bad_coverage[0][2]
+
+    def test_overlap_detected(self):
+        rep = verify_exchange(
+            _manual_result({(0, 1): [(0, 6), (4, 6)], (1, 0): [(0, 10)]}), 2, 10
+        )
+        assert not rep.ok
+        assert "overlap" in rep.bad_coverage[0][2]
+
+    def test_short_coverage_detected(self):
+        rep = verify_exchange(
+            _manual_result({(0, 1): [(0, 6)], (1, 0): [(0, 10)]}), 2, 10
+        )
+        assert not rep.ok
+        assert "covered 6 of 10" in rep.bad_coverage[0][2]
+
+    def test_self_pair_unexpected(self):
+        rep = verify_exchange(
+            _manual_result({(0, 0): [(0, 10)], (0, 1): [(0, 10)],
+                            (1, 0): [(0, 10)]}), 2, 10
+        )
+        assert not rep.ok
+        assert (0, 0) in rep.unexpected_pairs
+
+    def test_summary_strings(self):
+        good = verify_exchange(
+            _manual_result({(0, 1): [(0, 1)], (1, 0): [(0, 1)]}), 2, 1
+        )
+        assert "verified" in good.summary()
+        bad = verify_exchange(_manual_result({}), 2, 1)
+        assert "FAILED" in bad.summary()
+
+
+def _manual_result(pairs):
+    from repro.functional.engine import FunctionalResult
+
+    received = {
+        (s, d): [DataChunk(s, d, off, n) for off, n in chunks]
+        for (s, d), chunks in pairs.items()
+    }
+    return FunctionalResult(received=received)
+
+
+class TestStrategyCorrectness:
+    """The central exchange-correctness matrix (beyond the property tests)."""
+
+    @pytest.mark.parametrize("shape_lbl", ["4x4", "2x4x8", "4x2M", "8"])
+    @pytest.mark.parametrize("m", [1, 33, 300])
+    def test_ar(self, shape_lbl, m):
+        _, rep = run_and_verify(ARDirect(), TorusShape.parse(shape_lbl), m)
+        assert rep.ok, rep.summary()
+
+    @pytest.mark.parametrize("shape_lbl", ["4x4", "2x4x8", "4x8x2M"])
+    @pytest.mark.parametrize("m", [1, 33, 300])
+    def test_tps(self, shape_lbl, m):
+        _, rep = run_and_verify(
+            TwoPhaseSchedule(), TorusShape.parse(shape_lbl), m
+        )
+        assert rep.ok, rep.summary()
+
+    @pytest.mark.parametrize("shape_lbl", ["4x4", "2x4x8", "8"])
+    @pytest.mark.parametrize("m", [1, 33, 300])
+    def test_vmesh(self, shape_lbl, m):
+        _, rep = run_and_verify(
+            VirtualMesh2D(), TorusShape.parse(shape_lbl), m
+        )
+        assert rep.ok, rep.summary()
+
+    def test_vmesh_paper_layout_512(self):
+        # The 32x16-on-8x8x8 layout of Section 4.2 moves data correctly.
+        _, rep = run_and_verify(
+            VirtualMesh2D(pvx=32, pvy=16), TorusShape.parse("8x8x8"), 4
+        )
+        assert rep.ok, rep.summary()

@@ -1,0 +1,116 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+The exchange postcondition — every ordered pair delivered exactly once —
+must hold for every strategy on arbitrary small shapes, message sizes and
+seeds; the timed simulator must agree with the functional engine on
+delivery counts; packetization must conserve payload bytes.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.functional.verify import run_and_verify
+from repro.model.machine import MachineParams
+from repro.model.torus import TorusShape
+from repro.strategies import (
+    ARDirect,
+    DRDirect,
+    ThrottledAR,
+    TwoPhaseSchedule,
+    VirtualMesh2D,
+)
+
+BGL = MachineParams.bluegene_l()
+
+# Small shapes keep each case fast while still covering 1-D/2-D/3-D,
+# mesh dims, and odd extents.
+shape_labels = st.sampled_from(
+    ["4", "5", "8", "2x4", "4x4", "3x3", "4x2M", "2x2x4", "2x4x4", "3x2x2"]
+)
+msg_sizes = st.sampled_from([1, 7, 16, 32, 33, 64, 100, 250, 300])
+seeds = st.integers(0, 2**16)
+
+COMMON = dict(
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(lbl=shape_labels, m=msg_sizes, seed=seeds)
+@settings(**COMMON)
+def test_direct_exchange_exactly_once(lbl, m, seed):
+    shape = TorusShape.parse(lbl)
+    _, rep = run_and_verify(ARDirect(), shape, m, BGL, seed)
+    assert rep.ok, (lbl, m, seed, rep.summary())
+
+
+@given(lbl=shape_labels, m=msg_sizes, seed=seeds)
+@settings(**COMMON)
+def test_dr_exchange_exactly_once(lbl, m, seed):
+    shape = TorusShape.parse(lbl)
+    _, rep = run_and_verify(DRDirect(), shape, m, BGL, seed)
+    assert rep.ok, (lbl, m, seed, rep.summary())
+
+
+@given(lbl=shape_labels, m=msg_sizes, seed=seeds)
+@settings(**COMMON)
+def test_tps_exchange_exactly_once(lbl, m, seed):
+    shape = TorusShape.parse(lbl)
+    if shape.ndim < 2:
+        return
+    _, rep = run_and_verify(TwoPhaseSchedule(), shape, m, BGL, seed)
+    assert rep.ok, (lbl, m, seed, rep.summary())
+
+
+@given(lbl=shape_labels, m=msg_sizes, seed=seeds, axis=st.integers(0, 2))
+@settings(**COMMON)
+def test_tps_any_linear_axis_exchange(lbl, m, seed, axis):
+    shape = TorusShape.parse(lbl)
+    if shape.ndim < 2:
+        return
+    axis = axis % shape.ndim
+    _, rep = run_and_verify(
+        TwoPhaseSchedule(linear_axis=axis), shape, m, BGL, seed
+    )
+    assert rep.ok, (lbl, m, seed, axis, rep.summary())
+
+
+@given(lbl=shape_labels, m=msg_sizes, seed=seeds)
+@settings(**COMMON)
+def test_vmesh_exchange_exactly_once(lbl, m, seed):
+    shape = TorusShape.parse(lbl)
+    _, rep = run_and_verify(VirtualMesh2D(), shape, m, BGL, seed)
+    assert rep.ok, (lbl, m, seed, rep.summary())
+
+
+@given(m=st.integers(1, 5000))
+@settings(deadline=None, max_examples=60)
+def test_packetization_conserves_bytes(m):
+    sizes = BGL.packetize_message(m)
+    # Wire total covers payload + header, within rounding + min-packet.
+    total = sum(sizes)
+    assert total >= m + BGL.header_bytes
+    assert total <= m + BGL.header_bytes + 64
+    assert all(64 <= s <= 256 and s % 32 == 0 for s in sizes)
+
+
+@given(
+    lbl=st.sampled_from(["2x4", "4x4", "2x2x4"]),
+    m=st.sampled_from([1, 40, 300]),
+    seed=st.integers(0, 100),
+)
+@settings(deadline=None, max_examples=12)
+def test_timed_and_functional_agree_on_final_deliveries(lbl, m, seed):
+    from repro.api import simulate_alltoall
+    from repro.functional.engine import FunctionalEngine
+
+    shape = TorusShape.parse(lbl)
+    strat = TwoPhaseSchedule() if shape.ndim >= 2 else ARDirect()
+    run = simulate_alltoall(strat, shape, m, BGL, seed=seed)
+    prog = strat.build_program(shape, m, BGL, seed, carry_data=True)
+    func = FunctionalEngine(shape).execute(prog)
+    # Timed final deliveries == total packets functionally delivered at
+    # their final destination.
+    assert run.result.final_deliveries == (
+        func.packets_delivered - func.packets_forwarded
+    )

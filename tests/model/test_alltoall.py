@@ -1,0 +1,125 @@
+"""Unit tests for the Eq. 2-4 all-to-all cost models."""
+
+import pytest
+
+from repro.model.alltoall import (
+    ar_vmesh_crossover_bytes,
+    asymptotic_direct_efficiency,
+    balanced_vmesh_factors,
+    peak_time_cycles,
+    percent_of_peak,
+    simple_direct_time_cycles,
+    throughput_point,
+    vmesh_time_cycles,
+)
+from repro.model.machine import MachineParams
+from repro.model.torus import TorusShape
+
+
+@pytest.fixture
+def bgl():
+    return MachineParams.bluegene_l()
+
+
+class TestPeak:
+    def test_eq2_midplane(self, bgl):
+        # T = P * (M/8) * m * beta on 8x8x8.
+        shape = TorusShape.parse("8x8x8")
+        t = peak_time_cycles(shape, 1000, bgl)
+        assert t == pytest.approx(512 * 1.0 * 1000 * bgl.beta_cycles_per_byte)
+
+    def test_scales_linearly_in_m(self, bgl):
+        shape = TorusShape.parse("8x8x16")
+        assert peak_time_cycles(shape, 2000, bgl) == pytest.approx(
+            2 * peak_time_cycles(shape, 1000, bgl)
+        )
+
+    def test_livermore_machine(self, bgl):
+        # 64x32x32: C = 8.
+        shape = TorusShape.parse("64x32x32")
+        t = peak_time_cycles(shape, 1, bgl)
+        assert t == pytest.approx(65536 * 8 * bgl.beta_cycles_per_byte)
+
+
+class TestDirectModel:
+    def test_eq3_structure(self, bgl):
+        shape = TorusShape.parse("8x8x8")
+        m = 1000
+        t = simple_direct_time_cycles(shape, m, bgl)
+        expected = 512 * 450 + 512 * 1.0 * (m + 48) * bgl.beta_cycles_per_byte
+        assert t == pytest.approx(expected)
+
+    def test_alpha_dominates_small_messages(self, bgl):
+        shape = TorusShape.parse("8x8x8")
+        t1 = simple_direct_time_cycles(shape, 1, bgl)
+        assert t1 > 512 * 450  # startup floor
+
+    def test_asymptotic_efficiency_near_one(self, bgl):
+        shape = TorusShape.parse("16x16x16")
+        eff = asymptotic_direct_efficiency(shape, bgl)
+        assert 0.95 < eff < 1.0
+
+
+class TestVMeshModel:
+    def test_eq4_structure(self, bgl):
+        shape = TorusShape.parse("8x8x8")
+        m, pvx, pvy = 8, 32, 16
+        t = vmesh_time_cycles(shape, m, bgl, pvx, pvy)
+        per_byte = 1.0 * bgl.beta_cycles_per_byte + bgl.gamma_cycles_per_byte
+        expected = (pvx + pvy) * 1170 + 2 * 512 * (m + 8) * per_byte
+        assert t == pytest.approx(expected)
+
+    def test_requires_tiling(self, bgl):
+        with pytest.raises(ValueError):
+            vmesh_time_cycles(TorusShape.parse("8x8x8"), 8, bgl, 100, 5)
+
+    def test_vmesh_wins_small_loses_large(self, bgl):
+        # The Section 4.2 crossover: VMesh below ~32 B, direct above.
+        shape = TorusShape.parse("8x8x8")
+        small_v = vmesh_time_cycles(shape, 8, bgl, 32, 16)
+        small_d = simple_direct_time_cycles(shape, 8, bgl)
+        assert small_v < small_d
+        large_v = vmesh_time_cycles(shape, 4096, bgl, 32, 16)
+        large_d = simple_direct_time_cycles(shape, 4096, bgl)
+        assert large_v > large_d
+
+    def test_crossover_value(self, bgl):
+        # m = h - 2*proto = 48 - 16 = 32 (Section 4.2).
+        assert ar_vmesh_crossover_bytes(bgl) == 32
+
+
+class TestThroughput:
+    def test_percent_of_peak(self, bgl):
+        shape = TorusShape.parse("8x8x8")
+        peak = peak_time_cycles(shape, 1000, bgl)
+        assert percent_of_peak(shape, 1000, peak, bgl) == pytest.approx(100.0)
+        assert percent_of_peak(shape, 1000, 2 * peak, bgl) == pytest.approx(50.0)
+
+    def test_throughput_point(self, bgl):
+        shape = TorusShape.parse("8x8x8")
+        peak = peak_time_cycles(shape, 1000, bgl)
+        pt = throughput_point(shape, 1000, peak, bgl)
+        assert pt.fraction_of_peak == pytest.approx(1.0)
+        assert pt.per_node_bytes_per_cycle == pytest.approx(
+            shape.per_node_peak_bandwidth(bgl.beta_cycles_per_byte)
+        )
+
+    def test_zero_time_rejected(self, bgl):
+        with pytest.raises(ValueError):
+            throughput_point(TorusShape.parse("8"), 10, 0.0, bgl)
+
+
+class TestVMeshFactors:
+    def test_square(self):
+        assert balanced_vmesh_factors(512) == (32, 16)
+        assert balanced_vmesh_factors(4096) == (64, 64)
+        assert balanced_vmesh_factors(64) == (8, 8)
+
+    def test_prime(self):
+        assert balanced_vmesh_factors(13) == (13, 1)
+
+    def test_pvx_at_least_pvy(self):
+        for p in (2, 6, 12, 24, 100, 1024):
+            pvx, pvy = balanced_vmesh_factors(p)
+            assert pvx * pvy == p
+            assert pvx >= pvy

@@ -1,0 +1,76 @@
+"""Unit tests for contention/asymmetry analysis."""
+
+import pytest
+
+from repro.model.contention import (
+    ar_efficiency_estimate,
+    asymmetry_metrics,
+    contention_parameter,
+    expect_ar_degradation,
+)
+from repro.model.torus import TorusShape
+
+
+class TestContentionParameter:
+    def test_m_over_8(self):
+        assert contention_parameter(TorusShape.parse("8x8x8")) == 1.0
+        assert contention_parameter(TorusShape.parse("8x32x16")) == 4.0
+
+
+class TestAsymmetryMetrics:
+    def test_symmetric_balanced(self):
+        m = asymmetry_metrics(TorusShape.parse("16x16x16"))
+        assert m.is_balanced
+        assert m.balance == pytest.approx(1.0)
+
+    def test_2nnn(self):
+        m = asymmetry_metrics(TorusShape.parse("16x8x8"))
+        assert not m.is_balanced
+        assert m.bottleneck_axis == 0
+        assert m.relative_utilization == pytest.approx((1.0, 0.5, 0.5))
+
+    def test_mesh_induces_imbalance(self):
+        # 8x4M has matched per-dimension C but uneven in-dimension loads.
+        m = asymmetry_metrics(TorusShape.parse("8x4M"))
+        assert not m.is_balanced
+
+
+class TestDegradationPredicate:
+    def test_paper_partitions(self):
+        # Every asymmetric Table 2 partition must be flagged.
+        for lbl in ("8x16", "8x32", "8x8x16", "8x16x16", "8x32x16",
+                    "16x32x16", "32x32x16", "8x8x2M", "8x8x4M"):
+            assert expect_ar_degradation(TorusShape.parse(lbl)), lbl
+        # Symmetric Table 1 partitions must not.
+        for lbl in ("8", "8x8", "16x16", "8x8x8", "16x16x16"):
+            assert not expect_ar_degradation(TorusShape.parse(lbl)), lbl
+
+
+class TestEfficiencyEstimate:
+    def test_symmetric_near_99(self):
+        for lbl in ("8x8x8", "16x16x16", "16x16"):
+            assert ar_efficiency_estimate(TorusShape.parse(lbl)) == pytest.approx(
+                0.99, abs=1e-6
+            )
+
+    def test_table2_within_8_points(self):
+        # The explicitly-empirical fit must land within ~8 points of the
+        # paper's Table 2 (it is a sanity band, not the instrument).
+        table2 = {
+            "8x16": 85.7,
+            "8x32": 84.0,
+            "8x8x16": 81.0,
+            "8x16x16": 87.0,
+            "8x32x16": 73.3,
+            "16x32x16": 71.0,
+            "32x32x16": 73.6,
+        }
+        for lbl, pct in table2.items():
+            est = 100 * ar_efficiency_estimate(TorusShape.parse(lbl))
+            assert abs(est - pct) < 8.5, (lbl, est, pct)
+
+    def test_monotone_in_imbalance(self):
+        e_sym = ar_efficiency_estimate(TorusShape.parse("16x16x16"))
+        e_mild = ar_efficiency_estimate(TorusShape.parse("16x16x8"))
+        e_bad = ar_efficiency_estimate(TorusShape.parse("32x8x8"))
+        assert e_sym > e_mild > e_bad

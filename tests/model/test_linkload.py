@@ -1,0 +1,97 @@
+"""Unit tests for exact per-link load accounting."""
+
+import numpy as np
+import pytest
+
+from repro.model.linkload import (
+    dim_byte_hops,
+    dim_utilization,
+    dor_max_link_loads,
+    network_lower_bound_cycles,
+    uniform_link_loads,
+)
+from repro.model.machine import MachineParams
+from repro.model.torus import TorusShape
+from repro.model.alltoall import peak_time_cycles
+
+
+@pytest.fixture
+def bgl():
+    return MachineParams.bluegene_l()
+
+
+class TestByteHops:
+    def test_matches_mean_hops(self):
+        shape = TorusShape.parse("8x8x8")
+        hops = dim_byte_hops(shape, 1.0)
+        # P^2 * (n/4) per even torus dimension.
+        assert hops[0] == pytest.approx(512**2 * 2.0)
+        assert (hops == hops[0]).all()
+
+    def test_asymmetric(self):
+        shape = TorusShape.parse("8x16")
+        hops = dim_byte_hops(shape, 1.0)
+        assert hops[1] == pytest.approx(2 * hops[0])
+
+    def test_scales_with_m(self):
+        shape = TorusShape.parse("4x4")
+        assert (dim_byte_hops(shape, 3.0) == 3 * dim_byte_hops(shape, 1.0)).all()
+
+
+class TestUniformLoads:
+    def test_torus_load_is_pn_over_8(self):
+        # Per directed link: P*n*m/8 on an even torus dimension.
+        shape = TorusShape.parse("8x8x8")
+        loads = uniform_link_loads(shape, 1.0)
+        assert loads[0] == pytest.approx(512 * 8 / 8)
+
+    def test_2n_n_n_x_links_twice_loaded(self):
+        # Section 3.2: on a 2n x n x n torus, X links carry 2x the load.
+        shape = TorusShape.parse("16x8x8")
+        loads = uniform_link_loads(shape, 1.0)
+        assert loads[0] == pytest.approx(2 * loads[1])
+        assert loads[1] == pytest.approx(loads[2])
+
+
+class TestDorMaxLoads:
+    def test_torus_equals_uniform(self):
+        shape = TorusShape.parse("8x8")
+        assert dor_max_link_loads(shape, 1.0) == pytest.approx(
+            uniform_link_loads(shape, 1.0)
+        )
+
+    def test_mesh_center_link_hotter(self):
+        shape = TorusShape.parse("8x8M")
+        dor = dor_max_link_loads(shape, 1.0)
+        uni = uniform_link_loads(shape, 1.0)
+        assert dor[1] > uni[1]
+        # max_i (i+1)(n-1-i) = 16 at the centre of an 8-mesh.
+        assert dor[1] == pytest.approx(16 * 8)
+
+
+class TestLowerBound:
+    def test_matches_eq2_on_torus(self, bgl):
+        # The link-capacity bound must coincide with Eq. 2 on tori.
+        for lbl in ("8", "8x8", "8x8x8", "16x8x8", "8x32x16"):
+            shape = TorusShape.parse(lbl)
+            lb = network_lower_bound_cycles(shape, 1000.0, bgl)
+            assert lb == pytest.approx(peak_time_cycles(shape, 1000, bgl)), lbl
+
+    def test_mesh_matches_generalized_c(self, bgl):
+        shape = TorusShape.parse("8x8M")
+        lb = network_lower_bound_cycles(shape, 1000.0, bgl)
+        assert lb == pytest.approx(peak_time_cycles(shape, 1000, bgl))
+
+
+class TestUtilization:
+    def test_symmetric_balanced(self):
+        u = dim_utilization(TorusShape.parse("8x8x8"))
+        assert u.per_axis == pytest.approx((1.0, 1.0, 1.0))
+        assert u.mean == pytest.approx(1.0)
+
+    def test_asymmetric_imbalanced(self):
+        u = dim_utilization(TorusShape.parse("16x8x8"))
+        assert u.bottleneck_axis == 0
+        assert u.per_axis[0] == pytest.approx(1.0)
+        assert u.per_axis[1] == pytest.approx(0.5)
+        assert u.mean < 1.0

@@ -1,0 +1,47 @@
+"""Unit tests for the Eq. 1 point-to-point model."""
+
+import pytest
+
+from repro.model.machine import MachineParams
+from repro.model.pointtopoint import ptp_time_cycles
+
+
+@pytest.fixture
+def bgl():
+    return MachineParams.bluegene_l()
+
+
+def test_components(bgl):
+    bd = ptp_time_cycles(bgl, m_bytes=1000, hops=6, contention=1.0)
+    assert bd.startup == 450.0
+    assert bd.transfer == pytest.approx((1000 + 48) * bgl.beta_cycles_per_byte)
+    assert bd.latency == pytest.approx(6 * bgl.hop_latency_cycles)
+    assert bd.total == bd.startup + bd.transfer + bd.latency
+
+
+def test_contention_scales_transfer_only(bgl):
+    a = ptp_time_cycles(bgl, 1000, hops=2, contention=1.0)
+    b = ptp_time_cycles(bgl, 1000, hops=2, contention=2.0)
+    assert b.transfer == pytest.approx(2 * a.transfer)
+    assert b.startup == a.startup
+    assert b.latency == a.latency
+
+
+def test_message_level_alpha(bgl):
+    bd = ptp_time_cycles(bgl, 10, message_level=True)
+    assert bd.startup == 1170.0
+
+
+def test_zero_byte_message_ok(bgl):
+    bd = ptp_time_cycles(bgl, 0)
+    assert bd.transfer == pytest.approx(48 * bgl.beta_cycles_per_byte)
+
+
+def test_negative_message_rejected(bgl):
+    with pytest.raises(ValueError):
+        ptp_time_cycles(bgl, -1)
+
+
+def test_negative_contention_rejected(bgl):
+    with pytest.raises(ValueError):
+        ptp_time_cycles(bgl, 10, contention=-1.0)

@@ -1,0 +1,96 @@
+"""Unit tests for topology tables."""
+
+import numpy as np
+import pytest
+
+from repro.model.torus import TorusShape
+from repro.net.topology import (
+    Topology,
+    direction_axis,
+    direction_of,
+    direction_sign,
+)
+
+
+class TestDirections:
+    def test_encoding(self):
+        assert direction_of(0, True) == 0
+        assert direction_of(0, False) == 1
+        assert direction_of(2, True) == 4
+
+    def test_decoding(self):
+        for d in range(6):
+            assert direction_of(direction_axis(d), direction_sign(d) > 0) == d
+
+    def test_reverse_is_xor_1(self):
+        for d in range(6):
+            rev = d ^ 1
+            assert direction_axis(rev) == direction_axis(d)
+            assert direction_sign(rev) == -direction_sign(d)
+
+
+class TestNeighborTable:
+    def test_torus_all_links_present(self):
+        topo = Topology(TorusShape.parse("4x4x4"))
+        assert (topo.neighbor >= 0).all()
+        assert topo.num_links == 6 * 64
+
+    def test_mesh_edges_missing(self):
+        topo = Topology(TorusShape.parse("4x4M"))
+        shape = topo.shape
+        # Node at y=0 has no -y link; node at y=3 no +y.
+        for x in range(4):
+            assert topo.neighbor[shape.rank((x, 0)), direction_of(1, False)] == -1
+            assert topo.neighbor[shape.rank((x, 3)), direction_of(1, True)] == -1
+
+    def test_neighbors_reciprocal(self):
+        topo = Topology(TorusShape.parse("4x2M"))
+        for u in range(topo.nnodes):
+            for d in range(topo.ndirs):
+                v = topo.neighbor[u, d]
+                if v >= 0:
+                    assert topo.neighbor[v, d ^ 1] == u
+
+    def test_wrap_neighbor(self):
+        topo = Topology(TorusShape.parse("8"))
+        assert topo.neighbor[7, direction_of(0, True)] == 0
+        assert topo.neighbor[0, direction_of(0, False)] == 7
+
+    def test_extent_one_dimension_has_no_links(self):
+        topo = Topology(TorusShape((4, 1), (True, True)))
+        assert (topo.neighbor[:, 2:] == -1).all()
+
+
+class TestRouting:
+    def test_profitable_directions(self):
+        topo = Topology(TorusShape.parse("8x8x8"))
+        src = topo.shape.rank((0, 0, 0))
+        dst = topo.shape.rank((1, 7, 0))
+        dirs = topo.profitable_directions(src, dst)
+        assert direction_of(0, True) in dirs    # +x
+        assert direction_of(1, False) in dirs   # -y (wrap)
+        assert len(dirs) == 2
+
+    def test_dimension_order(self):
+        topo = Topology(TorusShape.parse("8x8x8"))
+        src = topo.shape.rank((0, 0, 0))
+        dst = topo.shape.rank((2, 3, 0))
+        assert topo.dimension_order_direction(src, dst) == direction_of(0, True)
+        mid = topo.shape.rank((2, 0, 0))
+        assert topo.dimension_order_direction(mid, dst) == direction_of(1, True)
+
+    def test_dor_at_destination(self):
+        topo = Topology(TorusShape.parse("4x4"))
+        assert topo.dimension_order_direction(5, 5) == -1
+
+    def test_min_hops(self):
+        topo = Topology(TorusShape.parse("8x8x8"))
+        a = topo.shape.rank((0, 0, 0))
+        b = topo.shape.rank((4, 4, 4))
+        assert topo.min_hops(a, b) == 12
+
+    def test_coords_consistent_with_shape(self):
+        shape = TorusShape.parse("4x2x3")
+        topo = Topology(shape)
+        for rank in range(shape.nnodes):
+            assert tuple(topo.coords[rank]) == shape.coord(rank)

@@ -1,0 +1,62 @@
+"""Unit tests for the Communicator facade."""
+
+import numpy as np
+import pytest
+
+from repro.model.torus import TorusShape
+from repro.runtime import Communicator
+from repro.strategies import ARDirect, TwoPhaseSchedule
+
+
+@pytest.fixture
+def comm():
+    return Communicator(TorusShape.parse("4x4"))
+
+
+class TestAlltoall:
+    def test_exchange_transposes(self, comm):
+        p, m = comm.size, 8
+        rng = np.random.default_rng(0)
+        send = rng.integers(0, 256, (p, p, m), dtype=np.uint8)
+        out = comm.alltoall(send)
+        assert (out.recv == np.swapaxes(send, 0, 1)).all()
+
+    def test_timing_optional(self, comm):
+        p, m = comm.size, 8
+        send = np.zeros((p, p, m), dtype=np.uint8)
+        out = comm.alltoall(send)
+        assert out.run is None
+        out2 = comm.alltoall(send, simulate_timing=True)
+        assert out2.run is not None
+        assert out2.run.time_cycles > 0
+
+    def test_explicit_strategy(self, comm):
+        p, m = comm.size, 8
+        send = np.zeros((p, p, m), dtype=np.uint8)
+        out = comm.alltoall(send, strategy=TwoPhaseSchedule())
+        assert out.strategy == "TPS"
+
+    def test_auto_selection_short(self, comm):
+        send = np.zeros((comm.size, comm.size, 8), dtype=np.uint8)
+        assert comm.alltoall(send).strategy == "VMesh"
+
+    def test_shape_validation(self, comm):
+        with pytest.raises(ValueError):
+            comm.alltoall(np.zeros((3, 3, 8), dtype=np.uint8))
+        with pytest.raises(ValueError):
+            comm.alltoall(np.zeros((16, 16), dtype=np.uint8))
+
+
+class TestTiming:
+    def test_alltoall_time(self, comm):
+        run = comm.alltoall_time(100, ARDirect())
+        assert run.time_cycles > 0
+        assert run.strategy == "AR"
+
+    def test_ptp_time(self, comm):
+        bd = comm.ptp_time(1000, src=0, dst=5)
+        assert bd.total > bd.startup
+
+    def test_size_and_coords(self, comm):
+        assert comm.size == 16
+        assert comm.coords(5) == (1, 1)

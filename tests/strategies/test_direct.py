@@ -1,0 +1,148 @@
+"""Unit tests for the direct strategies' plans and packetization."""
+
+import numpy as np
+import pytest
+
+from repro.model.machine import MachineParams
+from repro.model.torus import TorusShape
+from repro.net.packet import RoutingMode
+from repro.strategies.direct import ARDirect, DRDirect, MPIDirect, ThrottledAR
+
+
+@pytest.fixture
+def bgl():
+    return MachineParams.bluegene_l()
+
+
+@pytest.fixture
+def shape():
+    return TorusShape.parse("4x4")
+
+
+def collect_plan(program, node):
+    return list(program.injection_plan(node))
+
+
+class TestPlanStructure:
+    def test_every_destination_once(self, shape, bgl):
+        prog = ARDirect().build_program(shape, 100, bgl)
+        specs = collect_plan(prog, 0)
+        dests = {s.dst for s in specs}
+        assert dests == set(range(1, 16))  # all but self
+
+    def test_packet_count(self, shape, bgl):
+        # 100 B + 48 B header -> one 160 B packet per destination.
+        prog = ARDirect().build_program(shape, 100, bgl)
+        specs = collect_plan(prog, 3)
+        assert len(specs) == 15
+        assert all(s.wire_bytes == 160 for s in specs)
+
+    def test_multi_packet_message(self, shape, bgl):
+        prog = ARDirect().build_program(shape, 500, bgl)
+        specs = collect_plan(prog, 0)
+        assert len(specs) == 15 * 3  # 500+48 -> 256+256+64
+        per_dest = {}
+        for s in specs:
+            per_dest.setdefault(s.dst, []).append(s)
+        for dst, lst in per_dest.items():
+            assert sorted(x.wire_bytes for x in lst) == [64, 256, 256]
+            # alpha once per destination message
+            assert sum(1 for x in lst if x.new_message) == 1
+
+    def test_payload_accounting(self, shape, bgl):
+        prog = ARDirect().build_program(shape, 500, bgl)
+        specs = collect_plan(prog, 0)
+        per_dest = {}
+        for s in specs:
+            per_dest[s.dst] = per_dest.get(s.dst, 0) + s.payload_bytes
+        assert all(v == 500 for v in per_dest.values())
+
+    def test_round_robin_interleaves(self, shape, bgl):
+        # With 3 packets/message and k=2, the first sweep sends 2 packets
+        # to each destination before any destination gets its third.
+        prog = ARDirect().build_program(shape, 500, bgl)
+        specs = collect_plan(prog, 0)
+        first_sweep = specs[: 15 * 2]
+        counts = {}
+        for s in first_sweep:
+            counts[s.dst] = counts.get(s.dst, 0) + 1
+        assert all(v == 2 for v in counts.values())
+
+    def test_order_differs_across_nodes(self, shape, bgl):
+        prog = ARDirect().build_program(shape, 100, bgl)
+        o1 = [s.dst for s in collect_plan(prog, 1)]
+        o2 = [s.dst for s in collect_plan(prog, 2)]
+        assert o1 != o2
+
+    def test_order_deterministic_per_seed(self, shape, bgl):
+        p1 = ARDirect().build_program(shape, 100, bgl, seed=9)
+        p2 = ARDirect().build_program(shape, 100, bgl, seed=9)
+        assert [s.dst for s in collect_plan(p1, 5)] == [
+            s.dst for s in collect_plan(p2, 5)
+        ]
+
+    def test_expected_deliveries(self, shape, bgl):
+        prog = ARDirect().build_program(shape, 500, bgl)
+        assert prog.expected_final_deliveries() == 16 * 15 * 3
+
+
+class TestModes:
+    def test_ar_is_adaptive(self, shape, bgl):
+        prog = ARDirect().build_program(shape, 64, bgl)
+        assert all(
+            s.mode == RoutingMode.ADAPTIVE for s in collect_plan(prog, 0)
+        )
+
+    def test_dr_is_deterministic(self, shape, bgl):
+        prog = DRDirect().build_program(shape, 64, bgl)
+        assert all(
+            s.mode == RoutingMode.DETERMINISTIC for s in collect_plan(prog, 0)
+        )
+
+    def test_mpi_uses_message_alpha(self, shape, bgl):
+        prog = MPIDirect().build_program(shape, 64, bgl)
+        firsts = [s for s in collect_plan(prog, 0) if s.new_message]
+        assert all(s.alpha_cycles == bgl.alpha_message_cycles for s in firsts)
+
+    def test_ar_uses_default_alpha(self, shape, bgl):
+        prog = ARDirect().build_program(shape, 64, bgl)
+        assert all(s.alpha_cycles < 0 for s in collect_plan(prog, 0))
+
+
+class TestThrottle:
+    def test_pace_positive(self, shape, bgl):
+        prog = ThrottledAR().build_program(shape, 464, bgl)
+        pace = prog.pace_cycles(0)
+        assert pace > 0
+
+    def test_pace_matches_bisection_rate(self, shape, bgl):
+        prog = ThrottledAR().build_program(shape, 464, bgl)
+        sizes = bgl.packetize_message(464)
+        mean_wire = sum(sizes) / len(sizes)
+        c = shape.contention_factor
+        assert prog.pace_cycles(0) == pytest.approx(
+            c * mean_wire * bgl.beta_cycles_per_byte
+        )
+
+    def test_slack_scales_pace(self, shape, bgl):
+        p1 = ThrottledAR(slack=1.0).build_program(shape, 464, bgl)
+        p2 = ThrottledAR(slack=2.0).build_program(shape, 464, bgl)
+        assert p2.pace_cycles(0) == pytest.approx(2 * p1.pace_cycles(0))
+
+    def test_invalid_slack(self):
+        with pytest.raises(ValueError):
+            ThrottledAR(slack=0.0)
+
+
+class TestPrediction:
+    def test_ar_prediction_is_eq3(self, shape, bgl):
+        from repro.model.alltoall import simple_direct_time_cycles
+
+        assert ARDirect().predict_cycles(shape, 777, bgl) == pytest.approx(
+            simple_direct_time_cycles(shape, 777, bgl)
+        )
+
+    def test_mpi_predicts_slower_than_ar(self, shape, bgl):
+        assert MPIDirect().predict_cycles(shape, 64, bgl) > ARDirect().predict_cycles(
+            shape, 64, bgl
+        )

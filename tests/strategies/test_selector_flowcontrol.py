@@ -1,0 +1,83 @@
+"""Unit tests for strategy auto-selection and credit flow control."""
+
+import pytest
+
+from repro.api import simulate_alltoall
+from repro.functional import run_and_verify
+from repro.model.machine import MachineParams
+from repro.model.torus import TorusShape
+from repro.strategies import select_strategy
+from repro.strategies.flowcontrol import CreditedTPS, CreditedTPSProgram
+
+
+class TestSelector:
+    def test_short_messages_pick_vmesh(self):
+        assert select_strategy(TorusShape.parse("8x8x8"), 8).name == "VMesh"
+        assert select_strategy(TorusShape.parse("8x32x16"), 32).name == "VMesh"
+
+    def test_symmetric_large_picks_ar(self):
+        assert select_strategy(TorusShape.parse("8x8x8"), 4096).name == "AR"
+        assert select_strategy(TorusShape.parse("16x16"), 1024).name == "AR"
+
+    def test_asymmetric_large_picks_tps(self):
+        for lbl in ("8x8x16", "8x32x16", "40x32x16", "8x8x2M"):
+            assert select_strategy(TorusShape.parse(lbl), 1024).name == "TPS"
+
+    def test_1d_always_direct(self):
+        # TPS needs >= 2 dimensions.
+        assert select_strategy(TorusShape.parse("16"), 1024).name == "AR"
+
+    def test_tiny_partition_skips_vmesh(self):
+        # Too few nodes for combining to pay off.
+        assert select_strategy(TorusShape.parse("2x2"), 8).name == "AR"
+
+
+class TestCreditedTPS:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            CreditedTPS(window=2, packets_per_credit=4)  # k > window
+        with pytest.raises(ValueError):
+            CreditedTPS(window=0)
+
+    def test_functional_correctness(self):
+        shape = TorusShape.parse("2x4x4")
+        _, rep = run_and_verify(
+            CreditedTPS(window=2, packets_per_credit=2), shape, 300
+        )
+        assert rep.ok, rep.summary()
+
+    def test_credits_emitted(self):
+        shape = TorusShape.parse("2x4x4")
+        strat = CreditedTPS(window=2, packets_per_credit=2)
+        prog = strat.build_program(shape, 300)
+        from repro.net import TorusNetwork
+
+        net = TorusNetwork(shape)
+        net.set_fifo_groups(2)
+        net.run(prog)
+        assert prog.credits_sent > 0
+
+    def test_time_close_to_plain_tps(self):
+        from repro.strategies import TwoPhaseSchedule
+
+        shape = TorusShape.parse("2x4x4")
+        plain = simulate_alltoall(TwoPhaseSchedule(), shape, 300)
+        credited = simulate_alltoall(
+            CreditedTPS(window=8, packets_per_credit=4), shape, 300
+        )
+        # Flow control costs little (Section 5's point).
+        assert credited.time_cycles < plain.time_cycles * 1.3
+
+    def test_overhead_prediction(self):
+        strat = CreditedTPS(packets_per_credit=10)
+        # one 32 B credit per ten 256 B packets = 1.25 %.
+        assert strat.credit_bandwidth_overhead() == pytest.approx(
+            32 / 2560
+        )
+
+    def test_smaller_window_still_completes(self):
+        shape = TorusShape.parse("2x4x4")
+        run = simulate_alltoall(
+            CreditedTPS(window=1, packets_per_credit=1), shape, 300
+        )
+        assert run.result.final_deliveries > 0

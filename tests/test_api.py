@@ -1,0 +1,61 @@
+"""Unit tests for the top-level API."""
+
+import pytest
+
+from repro import (
+    AllToAllRun,
+    MachineParams,
+    TorusShape,
+    predict_alltoall,
+    simulate_alltoall,
+)
+from repro.model.alltoall import peak_time_cycles
+from repro.strategies import ARDirect, TwoPhaseSchedule
+
+
+class TestSimulateAlltoall:
+    def test_returns_run(self):
+        run = simulate_alltoall(ARDirect(), TorusShape.parse("4x4"), 64)
+        assert isinstance(run, AllToAllRun)
+        assert run.strategy == "AR"
+        assert run.time_cycles > 0
+
+    def test_percent_of_peak_consistent(self):
+        run = simulate_alltoall(ARDirect(), TorusShape.parse("4x4"), 64)
+        peak = peak_time_cycles(run.shape, 64, run.params)
+        assert run.percent_of_peak == pytest.approx(
+            100 * peak / run.time_cycles
+        )
+
+    def test_time_units_consistent(self):
+        run = simulate_alltoall(ARDirect(), TorusShape.parse("4x4"), 64)
+        assert run.time_ms == pytest.approx(run.time_us / 1000)
+
+    def test_bandwidth_positive(self):
+        run = simulate_alltoall(ARDirect(), TorusShape.parse("4x4"), 64)
+        assert run.per_node_mb_per_s > 0
+
+    def test_tps_sets_fifo_groups(self):
+        # TPS requires 2 FIFO groups; the API must configure the network.
+        run = simulate_alltoall(TwoPhaseSchedule(), TorusShape.parse("4x4"), 64)
+        assert run.result.forwarded_packets > 0
+
+    def test_custom_params(self):
+        prm = MachineParams.bluegene_l().with_updates(alpha_packet_cycles=0.0)
+        fast = simulate_alltoall(ARDirect(), TorusShape.parse("4x4"), 16, prm)
+        slow = simulate_alltoall(ARDirect(), TorusShape.parse("4x4"), 16)
+        assert fast.time_cycles < slow.time_cycles
+
+
+class TestPredict:
+    def test_prediction_matches_strategy(self):
+        shape = TorusShape.parse("8x8")
+        assert predict_alltoall(ARDirect(), shape, 100) == ARDirect().predict_cycles(
+            shape, 100, MachineParams.bluegene_l()
+        )
+
+    def test_run_carries_prediction(self):
+        run = simulate_alltoall(ARDirect(), TorusShape.parse("4x4"), 64)
+        assert run.predicted_cycles == pytest.approx(
+            predict_alltoall(ARDirect(), run.shape, 64, run.params)
+        )

@@ -1,0 +1,121 @@
+"""Unit tests for torus coordinate algebra."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.coords import (
+    all_coords,
+    coord_to_rank,
+    hop_count,
+    hop_vector,
+    mean_hops_per_dim,
+    rank_to_coord,
+    signed_displacement,
+)
+
+
+class TestLinearization:
+    def test_x_fastest(self):
+        assert coord_to_rank((1, 0, 0), (8, 8, 8)) == 1
+        assert coord_to_rank((0, 1, 0), (8, 8, 8)) == 8
+        assert coord_to_rank((0, 0, 1), (8, 8, 8)) == 64
+
+    def test_roundtrip_example(self):
+        assert rank_to_coord(209, (8, 8, 8)) == (1, 2, 3)
+        assert coord_to_rank((1, 2, 3), (8, 8, 8)) == 209
+
+    def test_out_of_range_coord_raises(self):
+        with pytest.raises(ValueError):
+            coord_to_rank((8, 0, 0), (8, 8, 8))
+
+    def test_out_of_range_rank_raises(self):
+        with pytest.raises(ValueError):
+            rank_to_coord(512, (8, 8, 8))
+
+    def test_dim_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            coord_to_rank((1, 2), (8, 8, 8))
+
+    def test_1d(self):
+        assert coord_to_rank((5,), (8,)) == 5
+        assert rank_to_coord(5, (8,)) == (5,)
+
+    @given(st.integers(0, 8 * 4 * 2 - 1))
+    def test_roundtrip_property(self, rank):
+        dims = (8, 4, 2)
+        assert coord_to_rank(rank_to_coord(rank, dims), dims) == rank
+
+    def test_all_coords_rank_order(self):
+        dims = (3, 2, 2)
+        coords = list(all_coords(dims))
+        assert len(coords) == 12
+        for i, c in enumerate(coords):
+            assert coord_to_rank(c, dims) == i
+
+
+class TestDisplacement:
+    def test_mesh_is_plain_difference(self):
+        assert signed_displacement(1, 6, 8, torus=False) == 5
+        assert signed_displacement(6, 1, 8, torus=False) == -5
+
+    def test_torus_wraps(self):
+        assert signed_displacement(0, 7, 8, torus=True) == -1
+        assert signed_displacement(7, 0, 8, torus=True) == 1
+
+    def test_torus_half_tie_positive(self):
+        assert signed_displacement(0, 4, 8, torus=True) == 4
+
+    def test_zero(self):
+        assert signed_displacement(3, 3, 8, torus=True) == 0
+
+    @given(st.integers(0, 7), st.integers(0, 7))
+    def test_torus_displacement_minimal(self, s, t):
+        d = signed_displacement(s, t, 8, torus=True)
+        assert abs(d) <= 4
+        assert (s + d) % 8 == t
+
+    @given(st.integers(0, 6), st.integers(0, 6))
+    def test_odd_torus_unambiguous(self, s, t):
+        d = signed_displacement(s, t, 7, torus=True)
+        assert abs(d) <= 3
+        assert (s + d) % 7 == t
+
+
+class TestHops:
+    def test_hop_vector_3d(self):
+        dims, torus = (8, 8, 8), (True, True, True)
+        assert hop_vector((0, 0, 0), (1, 7, 4), dims, torus) == (1, -1, 4)
+
+    def test_hop_count(self):
+        dims, torus = (8, 8, 8), (True, True, True)
+        assert hop_count((0, 0, 0), (1, 7, 4), dims, torus) == 6
+
+    def test_mixed_mesh_torus(self):
+        dims, torus = (8, 8), (True, False)
+        assert hop_vector((0, 0), (7, 7), dims, torus) == (-1, 7)
+
+
+class TestMeanHops:
+    def test_even_torus_is_quarter(self):
+        # The paper's M/4 average (Section 2.1).
+        assert mean_hops_per_dim(8, torus=True) == pytest.approx(2.0)
+        assert mean_hops_per_dim(16, torus=True) == pytest.approx(4.0)
+
+    def test_odd_torus_exact(self):
+        n = 7
+        exact = sum(
+            abs(signed_displacement(s, t, n, True)) for s in range(n) for t in range(n)
+        ) / n**2
+        assert mean_hops_per_dim(n, torus=True) == pytest.approx(exact)
+
+    def test_mesh_exact(self):
+        n = 8
+        exact = sum(abs(t - s) for s in range(n) for t in range(n)) / n**2
+        assert mean_hops_per_dim(n, torus=False) == pytest.approx(exact)
+
+    def test_size_one(self):
+        assert mean_hops_per_dim(1, torus=True) == 0.0
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            mean_hops_per_dim(0, torus=True)

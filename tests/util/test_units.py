@@ -1,0 +1,41 @@
+"""Unit tests for cycle/time/bandwidth conversions."""
+
+import pytest
+
+from repro.util import units
+
+
+def test_clock_is_700mhz():
+    assert units.CLOCK_HZ == pytest.approx(700e6)
+
+
+def test_ns_per_cycle():
+    assert units.NS_PER_CYCLE == pytest.approx(1.428571, rel=1e-5)
+
+
+def test_cycles_to_ns_roundtrip():
+    assert units.ns_to_cycles(units.cycles_to_ns(123.0)) == pytest.approx(123.0)
+
+
+def test_paper_alpha_consistency():
+    # 450 cycles ~ 0.64 us (the paper's measured AR startup).
+    assert units.cycles_to_us(450) == pytest.approx(0.643, abs=0.01)
+
+
+def test_paper_beta_consistency():
+    # 6.48 ns/B ~ 4.54 cycles/B.
+    assert units.per_byte_ns_to_cycles(6.48) == pytest.approx(4.536, abs=1e-3)
+
+
+def test_us_to_cycles():
+    assert units.us_to_cycles(1.0) == pytest.approx(700.0)
+
+
+def test_cycles_to_ms_and_s():
+    assert units.cycles_to_ms(700e3) == pytest.approx(1.0)
+    assert units.cycles_to_s(700e6) == pytest.approx(1.0)
+
+
+def test_bandwidth_conversion():
+    # 1 byte/cycle at 700 MHz = 0.7 GB/s.
+    assert units.bytes_per_cycle_to_gb_per_s(1.0) == pytest.approx(0.7)

@@ -13,7 +13,8 @@ from repro.model.alltoall import peak_time_cycles, percent_of_peak
 from repro.model.machine import MachineParams
 from repro.model.torus import TorusShape
 from repro.net.config import NetworkConfig
-from repro.net.simulator import TorusNetwork
+from repro.net.faults import FaultPlan
+from repro.net.faultsim import build_network
 from repro.net.trace import SimulationResult
 from repro.util.units import cycles_to_ms, cycles_to_us
 
@@ -79,12 +80,20 @@ def simulate_alltoall(
     params: Optional[MachineParams] = None,
     config: Optional[NetworkConfig] = None,
     seed: int = 0,
+    faults: Optional[FaultPlan] = None,
 ) -> AllToAllRun:
     """Simulate one all-to-all of *msg_bytes* per rank pair under
-    *strategy* on *shape* and return the measured run."""
+    *strategy* on *shape* and return the measured run.
+
+    ``faults`` injects hardware faults: the strategy plans around dead
+    nodes and the network routes around dead links, retransmits over lossy
+    wires, and honors degraded links and outages.  ``None`` (or an empty
+    plan) takes the pristine fast path."""
     params = params or MachineParams.bluegene_l()
-    program = strategy.build_program(shape, msg_bytes, params, seed)
-    net = TorusNetwork(shape, params, config)
+    program = strategy.build_program(
+        shape, msg_bytes, params, seed, faults=faults
+    )
+    net = build_network(shape, params, config, faults)
     if strategy.fifo_groups > 1:
         net.set_fifo_groups(strategy.fifo_groups)
     result = net.run(program)

@@ -10,6 +10,7 @@ from typing import Callable, Optional
 
 from repro.experiments import (
     ablations,
+    resilience,
     scaling,
     fig1_ar_midplane,
     fig2_ar_4096,
@@ -45,6 +46,7 @@ EXPERIMENTS: dict[str, Driver] = {
 #: Design-choice ablations and extensions (not paper artifacts).
 ABLATIONS: dict[str, Driver] = {
     "scaling_study": scaling.run,
+    "resilience_sweep": resilience.run,
     "ablate_tps_axis": ablations.tps_linear_axis,
     "ablate_tps_pipelining": ablations.tps_pipelining,
     "ablate_dr_axis": ablations.dr_longest_axis,

@@ -9,6 +9,16 @@ packet carries.  :mod:`repro.functional.verify` then checks the all-to-all
 postcondition: for every ordered pair (src, dst), dst received exactly the
 bytes [0, m) of src's message, exactly once.
 
+A :class:`~repro.net.faults.FaultPlan` with packet loss can be attached:
+the engine then emulates the lossy wire plus the simulator's reliability
+layer — each packet is delivered only after a geometric number of
+(re)transmissions, with a deterministic chance that a slow original *and*
+its retransmission both arrive, exercising receiver-side dedup.  The data
+postcondition must hold regardless, which is exactly what end-to-end
+reliability promises.  Dead nodes must already be excluded by the program
+(fault-aware strategies guarantee this); the engine raises if a packet
+originates at or targets a dead rank.
+
 Programs must be built with ``carry_data=True``.
 """
 
@@ -16,10 +26,13 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.model.torus import TorusShape
+from repro.net.faults import FaultPlan
 from repro.net.packet import Packet, PacketSpec
 from repro.strategies.data import DataChunk, chunks_of
+from repro.util.rng import derive_rng
 from repro.util.validation import require
 
 
@@ -35,13 +48,25 @@ class FunctionalResult:
     #: peak per-node intermediate buffering, in chunk-bytes (the space cost
     #: Section 4 warns about: indirect strategies double buffering).
     peak_intermediate_bytes: int = 0
+    #: loss emulation: transmissions dropped / extra sends / dups discarded.
+    packets_lost: int = 0
+    packets_retransmitted: int = 0
+    duplicates_discarded: int = 0
 
 
 class FunctionalEngine:
-    """Executes a node program's data movement without timing."""
+    """Executes a node program's data movement without timing.
 
-    def __init__(self, shape: TorusShape) -> None:
+    ``faults`` enables the loss/reliability emulation described in the
+    module docstring; ``None`` or a loss-free plan executes exactly as
+    before.
+    """
+
+    def __init__(
+        self, shape: TorusShape, faults: Optional[FaultPlan] = None
+    ) -> None:
         self.shape = shape
+        self.faults = faults
 
     def execute(self, program) -> FunctionalResult:
         """Run *program* to quiescence and collect delivered chunks."""
@@ -52,11 +77,35 @@ class FunctionalEngine:
         pid = 0
         intermediate_bytes = [0] * p
 
+        faults = self.faults
+        lossy = faults is not None and faults.has_loss
+        dead = faults.dead_nodes if faults is not None else frozenset()
+        rng = derive_rng(faults.seed, "functional-loss") if lossy else None
+        loss_p = faults.loss_prob if faults is not None else 0.0
+        delivered_pids: set[int] = set()
+
         def materialize(src: int, spec: PacketSpec, depth: int) -> None:
             nonlocal pid
+            require(
+                src not in dead and spec.dst not in dead,
+                f"packet {src} -> {spec.dst} touches a dead node; the "
+                f"program was not built with the fault plan",
+            )
             pkt = Packet.from_spec(pid, src, spec, 0.0)
             pid += 1
             pending.append((spec.dst, pkt, depth))
+            if lossy and loss_p > 0.0:
+                # Emulate the lossy wire + sender retransmission: each
+                # transmission is lost with probability loss_p and simply
+                # re-sent (geometric), and occasionally a retransmission
+                # races an original that was only slow — both arrive and
+                # the receiver must dedup.
+                while rng.random() < loss_p:
+                    result.packets_lost += 1
+                    result.packets_retransmitted += 1
+                if rng.random() < loss_p:
+                    result.packets_retransmitted += 1
+                    pending.append((spec.dst, pkt, depth))
 
         for node in range(p):
             for spec in program.injection_plan(node):
@@ -64,6 +113,13 @@ class FunctionalEngine:
 
         while pending:
             node, pkt, depth = pending.popleft()
+            if lossy:
+                if pkt.pid in delivered_pids:
+                    # Receiver-side dedup: the logical packet was already
+                    # consumed; its duplicate twin is dropped silently.
+                    result.duplicates_discarded += 1
+                    continue
+                delivered_pids.add(pkt.pid)
             result.packets_delivered += 1
             if depth > result.max_forward_depth:
                 result.max_forward_depth = depth

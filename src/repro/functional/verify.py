@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from repro.functional.engine import FunctionalEngine, FunctionalResult
 from repro.model.machine import MachineParams
 from repro.model.torus import TorusShape
+from repro.net.faults import FaultPlan
 
 
 @dataclass
@@ -37,13 +38,26 @@ class VerificationReport:
 
 
 def verify_exchange(
-    result: FunctionalResult, nnodes: int, msg_bytes: int
+    result: FunctionalResult,
+    nnodes: int,
+    msg_bytes: int,
+    dead_nodes: frozenset[int] | set[int] = frozenset(),
 ) -> VerificationReport:
-    """Verify the all-to-all postcondition on *result*."""
+    """Verify the all-to-all postcondition on *result*.
+
+    ``dead_nodes`` restricts the exchange to the surviving ranks: pairs
+    touching a dead rank are not required, and any data delivered for such
+    a pair is flagged as unexpected."""
     report = VerificationReport(ok=True)
     seen = set(result.received.keys())
     for (src, dst), chunks in result.received.items():
-        if src == dst or not (0 <= src < nnodes) or not (0 <= dst < nnodes):
+        if (
+            src == dst
+            or not (0 <= src < nnodes)
+            or not (0 <= dst < nnodes)
+            or src in dead_nodes
+            or dst in dead_nodes
+        ):
             report.unexpected_pairs.append((src, dst))
             continue
         intervals = sorted((c.offset, c.offset + c.nbytes) for c in chunks)
@@ -62,7 +76,11 @@ def verify_exchange(
         if problem is not None:
             report.bad_coverage.append((src, dst, problem))
     for src in range(nnodes):
+        if src in dead_nodes:
+            continue
         for dst in range(nnodes):
+            if dst in dead_nodes:
+                continue
             if src != dst and (src, dst) not in seen:
                 report.missing_pairs.append((src, dst))
     report.ok = not (
@@ -77,14 +95,20 @@ def run_and_verify(
     msg_bytes: int,
     params: MachineParams | None = None,
     seed: int = 0,
+    faults: "FaultPlan | None" = None,
 ) -> tuple[FunctionalResult, VerificationReport]:
     """Build a data-carrying program for *strategy*, execute it functionally
     and verify the exchange.  The one-call correctness check used by tests
-    and examples."""
+    and examples.
+
+    With ``faults``, the program is built fault-aware, the engine emulates
+    packet loss + retransmission + dedup, and the postcondition is checked
+    over the surviving ranks only."""
     params = params or MachineParams.bluegene_l()
     program = strategy.build_program(
-        shape, msg_bytes, params, seed, carry_data=True
+        shape, msg_bytes, params, seed, carry_data=True, faults=faults
     )
-    result = FunctionalEngine(shape).execute(program)
-    report = verify_exchange(result, shape.nnodes, msg_bytes)
+    result = FunctionalEngine(shape, faults=faults).execute(program)
+    dead = faults.dead_nodes if faults is not None else frozenset()
+    report = verify_exchange(result, shape.nnodes, msg_bytes, dead_nodes=dead)
     return result, report

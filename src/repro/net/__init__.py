@@ -3,12 +3,20 @@
 Public surface: :class:`TorusNetwork` (the engine),
 :class:`NetworkConfig` (router sizing), :class:`PacketSpec` /
 :class:`Packet` / :class:`RoutingMode` (traffic), the
-:class:`NodeProgram` protocol with :class:`ListProgram` helper, and the
-:class:`SimulationResult` summary.
+:class:`NodeProgram` protocol with :class:`ListProgram` helper, the
+:class:`SimulationResult` summary, and the fault-injection layer
+(:class:`FaultPlan`, :class:`FaultyTorusNetwork`, :func:`build_network`).
 """
 
 from repro.net.config import NetworkConfig
-from repro.net.errors import DeadlockError, SimulationError, SimulationLimitError
+from repro.net.errors import (
+    DeadlockError,
+    PartitionedNetworkError,
+    SimulationError,
+    SimulationLimitError,
+)
+from repro.net.faults import FaultPlan, FaultRoutingTable, LinkOutage
+from repro.net.faultsim import FaultyTorusNetwork, build_network
 from repro.net.packet import NO_VC, Packet, PacketSpec, RoutingMode
 from repro.net.program import BaseProgram, ListProgram, NodeProgram
 from repro.net.simulator import TorusNetwork
@@ -23,8 +31,14 @@ from repro.net.trace import SimStats, SimulationResult
 __all__ = [
     "NetworkConfig",
     "DeadlockError",
+    "PartitionedNetworkError",
     "SimulationError",
     "SimulationLimitError",
+    "FaultPlan",
+    "FaultRoutingTable",
+    "LinkOutage",
+    "FaultyTorusNetwork",
+    "build_network",
     "NO_VC",
     "Packet",
     "PacketSpec",

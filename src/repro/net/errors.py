@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Mapping, Optional, Sequence
+
 
 class SimulationError(RuntimeError):
     """Base class for simulator failures."""
@@ -19,4 +21,57 @@ class DeadlockError(SimulationError):
 
 
 class SimulationLimitError(SimulationError):
-    """The simulation exceeded its configured cycle or event budget."""
+    """The simulation exceeded its configured cycle or event budget.
+
+    Carries a diagnostic snapshot of where the simulation stood when the
+    budget ran out (mirroring :class:`DeadlockError`'s per-node report), so
+    a runaway run can be triaged without re-running under a debugger:
+
+    * ``events_processed`` — events handled before the limit tripped;
+    * ``packets_in_flight`` — packets sitting in VC buffers and injection
+      FIFOs at that moment;
+    * ``pending_by_node`` — per-node count of CPU work still queued
+      (receptions to drain plus forwards to re-inject), non-zero nodes only.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        *,
+        events_processed: int = 0,
+        packets_in_flight: int = 0,
+        pending_by_node: Optional[Mapping[int, int]] = None,
+    ) -> None:
+        self.events_processed = events_processed
+        self.packets_in_flight = packets_in_flight
+        self.pending_by_node = dict(pending_by_node or {})
+        msg = reason
+        if events_processed or packets_in_flight or self.pending_by_node:
+            hot = sorted(
+                self.pending_by_node.items(), key=lambda kv: -kv[1]
+            )[:8]
+            hot_s = ", ".join(f"node {u}: {n}" for u, n in hot) or "none"
+            msg = (
+                f"{reason} [events_processed={events_processed}, "
+                f"packets_in_flight={packets_in_flight}, "
+                f"pending work ({len(self.pending_by_node)} nodes): {hot_s}]"
+            )
+        super().__init__(msg)
+
+
+class PartitionedNetworkError(SimulationError):
+    """A fault plan disconnects the surviving torus.
+
+    Raised by connectivity validation before any traffic is simulated: the
+    plan's dead links/nodes leave at least one surviving node unreachable
+    from the rest, so no routing table can keep the collective complete.
+    ``unreachable`` lists the stranded ranks.
+    """
+
+    def __init__(self, msg: str, unreachable: Sequence[int] = ()) -> None:
+        self.unreachable = tuple(unreachable)
+        if self.unreachable:
+            shown = ", ".join(str(u) for u in self.unreachable[:16])
+            more = "..." if len(self.unreachable) > 16 else ""
+            msg = f"{msg} (unreachable ranks: {shown}{more})"
+        super().__init__(msg)

@@ -1,0 +1,413 @@
+"""Fault-aware variant of the torus network simulator.
+
+:class:`FaultyTorusNetwork` extends :class:`~repro.net.simulator.TorusNetwork`
+with everything a :class:`~repro.net.faults.FaultPlan` demands:
+
+* dead links and dead nodes are masked out of the neighbor table, so the
+  base arbitration machinery can never pick them (they look exactly like
+  mesh edges);
+* routing switches to the plan's :class:`~repro.net.faults.FaultRoutingTable`
+  — adaptive packets take any surviving link that strictly decreases BFS
+  distance to the destination (JSQ among the dynamic VCs), and the escape
+  virtual channel follows deadlock-free up*/down* next hops instead of
+  dimension order (the bubble rule's rings no longer exist);
+* degraded links stretch their service time, transient outages hold links
+  busy for their window, and lossy links drop packets deterministically
+  (the drop still occupies the wire for the full service time and returns
+  the downstream credit when the tail would have passed);
+* when any link is lossy, an end-to-end reliability layer activates:
+  every network-bound packet gets a sequence number, the sender keeps the
+  spec outstanding and retransmits on a timeout with exponential backoff,
+  and receivers discard duplicate sequence numbers — so the collective
+  completes with exactly-once delivery semantics.
+
+The zero-fault path stays on the base class: :func:`build_network` only
+instantiates this subclass for a non-empty plan, and the base class's hot
+loop carries **no** fault branches (the overrides below are copies with the
+fault logic woven in, not hooks called per event).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import replace
+from heapq import heappop
+from typing import Optional
+
+from repro.model.machine import MachineParams
+from repro.model.torus import TorusShape
+from repro.net.config import NetworkConfig
+from repro.net.errors import DeadlockError, SimulationError
+from repro.net.faults import (
+    FaultPlan,
+    FaultRoutingTable,
+    loss_draw,
+    loss_salt,
+)
+from repro.net.packet import Packet, PacketSpec
+from repro.net.program import NodeProgram
+from repro.net.simulator import (
+    _ADAPTIVE,
+    _EV_ARRIVE,
+    _EV_CPU_DONE,
+    _EV_CPU_WAKE,
+    _EV_FIFO_FREE,
+    _EV_LINK_FREE,
+    _EV_TOKEN,
+    TorusNetwork,
+)
+from repro.net.trace import SimulationResult
+
+# Extra event kinds (base simulator uses 0-5).
+_EV_RETX = 6
+_EV_OUTAGE = 7
+
+
+class FaultyTorusNetwork(TorusNetwork):
+    """A torus partition degraded by a :class:`FaultPlan`.
+
+    Construction validates connectivity of the surviving nodes (raising
+    :class:`~repro.net.errors.PartitionedNetworkError` otherwise) and
+    precomputes all routing tables; the per-event cost of fault awareness
+    is then a handful of list lookups.
+    """
+
+    def __init__(
+        self,
+        shape: TorusShape,
+        params: Optional[MachineParams] = None,
+        config: Optional[NetworkConfig] = None,
+        faults: Optional[FaultPlan] = None,
+    ) -> None:
+        super().__init__(shape, params, config)
+        plan = faults if faults is not None else FaultPlan()
+        self.faults = plan
+        rt = FaultRoutingTable(self.topo, plan)
+        self.routing = rt
+        # Masked neighbors: the base arbitration/token machinery sees dead
+        # links as absent (== mesh edges) and can never route over them.
+        self._nbr = rt.nbr
+        self._num_links = rt.num_links
+        self._dist = rt.dist
+        self._nh_up = rt.nh_up
+        self._nh_down = rt.nh_down
+        self._order = rt.order
+        self._dead_set = plan.dead_nodes
+        self._degrade = rt.degrade_table()
+        self._loss = rt.loss_table()
+        self._has_loss = plan.has_loss
+        self._loss_salt = loss_salt(plan)
+        # Reliability layer state (active only when links can drop).
+        self._seqno = itertools.count()
+        self._outstanding: dict[int, tuple[int, PacketSpec]] = {}
+        self._delivered_seqs: set[int] = set()
+        # Transient outages become pre-posted events: the start event
+        # extends the link's busy horizon to the window end, the end event
+        # re-arbitrates waiters.  No routing logic needed.
+        for o in plan.outages:
+            if o.direction >= self._ndirs or o.node >= self._p:
+                raise SimulationError(
+                    f"outage names nonexistent link ({o.node}, {o.direction})"
+                )
+            if self._nbr[o.node][o.direction] < 0:
+                continue  # outage on a dead/absent link changes nothing
+            self._post(o.start, _EV_OUTAGE, o.node, o.direction, o.end)
+            self._post(o.end, _EV_LINK_FREE, o.node, o.direction, None)
+            self.stats.outage_cycles += o.end - o.start
+
+    # ------------------------------------------------------------------ #
+    # fault-aware routing
+    # ------------------------------------------------------------------ #
+
+    def _vc_for_link(
+        self, u: int, d: int, v: int, pkt: Packet, in_axis: int,
+        dynamic_pass: bool,
+    ) -> int:
+        db = pkt.dst * self._p
+        base = (v * self._ndirs + (d ^ 1)) * self._nvcs
+        tokens = self._tokens
+        if dynamic_pass:
+            if pkt.mode != _ADAPTIVE:
+                return -1
+            # Adaptive progress = any surviving link that strictly reduces
+            # BFS distance to the destination (minimal on the degraded
+            # graph); JSQ across the dynamic VCs as on the pristine torus.
+            dist = self._dist
+            dv = dist[db + v]
+            if dv < 0 or dv >= dist[db + u]:
+                return -1
+            best, best_free = -1, 0
+            for vc in range(self._ndyn):
+                f = tokens[base + vc]
+                if f > best_free:
+                    best, best_free = vc, f
+            return best
+        # Escape pass: up*/down* on the bubble VC.  A single free slot
+        # suffices — the up*/down* channel dependency graph is acyclic, so
+        # no bubble is needed for deadlock freedom.
+        nh = self._nh_down if pkt.downphase else self._nh_up
+        if nh[db + u] != d:
+            return -1
+        if tokens[base + self._bubble] >= 1:
+            return self._bubble
+        return -1
+
+    def _try_send_head(self, u: int, pkt: Packet, in_axis: int) -> bool:
+        link_busy = self._link_busy
+        nbr_u = self._nbr[u]
+        lbase = u * self._ndirs
+        now = self._now
+        db = pkt.dst * self._p
+        dist = self._dist
+        du = dist[db + u]
+        tokens = self._tokens
+        if pkt.mode == _ADAPTIVE:
+            best_d, best_vc, best_free = -1, -1, 0
+            for d in range(self._ndirs):
+                v = nbr_u[d]
+                if v < 0 or link_busy[lbase + d] > now:
+                    continue
+                dv = dist[db + v]
+                if dv < 0 or dv >= du:
+                    continue
+                base = (v * self._ndirs + (d ^ 1)) * self._nvcs
+                for vc in range(self._ndyn):
+                    f = tokens[base + vc]
+                    if f > best_free:
+                        best_d, best_vc, best_free = d, vc, f
+            if best_d >= 0:
+                self._launch(u, best_d, nbr_u[best_d], pkt, best_vc)
+                return True
+        # Escape (also the only path for DETERMINISTIC packets).
+        nh = self._nh_down if pkt.downphase else self._nh_up
+        d = nh[db + u]
+        if d < 0:
+            return False
+        v = nbr_u[d]
+        if v < 0 or link_busy[lbase + d] > now:
+            return False
+        base = (v * self._ndirs + (d ^ 1)) * self._nvcs
+        if tokens[base + self._bubble] >= 1:
+            self._launch(u, d, v, pkt, self._bubble)
+            return True
+        return False
+
+    def _launch(
+        self, u: int, d: int, v: int, pkt: Packet, vc: int
+    ) -> None:
+        idx = (v * self._ndirs + (d ^ 1)) * self._nvcs + vc
+        self._tokens[idx] -= 1
+        pkt.vc = vc
+        pkt.hops += 1
+        st = self.stats
+        st.total_hops += 1
+        li = u * self._ndirs + d
+        service = pkt.wire_bytes * self._beta * self._degrade[li]
+        done = self._now + service
+        self._link_busy[li] = done
+        self._busy_cycles[li] += service
+        self._post(done, _EV_LINK_FREE, u, d, None)
+        # Track the up*/down* phase: once a packet descends on the escape
+        # VC it may never climb again while it stays there; any adaptive
+        # hop resets the phase (a fresh escape episode starts clean).
+        if vc == self._bubble:
+            if self._order[v] > self._order[u]:
+                pkt.downphase = True
+        else:
+            pkt.downphase = False
+        # A hop that is not minimal on the pristine torus is a reroute
+        # forced by the fault plan.
+        disp = self._disp(u, pkt.dst, d >> 1, pkt.halfbits)
+        if disp == 0 or (disp > 0) != ((d & 1) == 0):
+            st.rerouted_hops += 1
+        if self._has_loss:
+            p_loss = self._loss[li]
+            if p_loss > 0.0 and (
+                loss_draw(self._loss_salt, pkt.pid, pkt.hops, li) < p_loss
+            ):
+                # Dropped on the wire: the transmission still occupies the
+                # link, and the reserved downstream slot frees when the
+                # tail would have passed.  No arrival is ever posted; the
+                # sender's retransmission timer recovers the payload.
+                st.lost_packets += 1
+                self._post(done, _EV_TOKEN, v, d ^ 1, vc)
+                return
+        arrive = (done if pkt.dst == v else self._now) + self._hop_latency
+        self._post(arrive, _EV_ARRIVE, v, d ^ 1, pkt)
+
+    # ------------------------------------------------------------------ #
+    # reliability layer
+    # ------------------------------------------------------------------ #
+
+    def _cpu_complete(self, u: int) -> None:
+        op = self._cpu_pending[u]
+        self._cpu_pending[u] = None
+        assert op is not None, "CPU completion with no pending op"
+        if op[0] == "recv":
+            pkt: Packet = op[1]
+            self._recv_free[u] += 1
+            self._finish_delivery(u, pkt)
+            self._deliver_local_heads(u)
+        else:  # inject
+            spec: PacketSpec = op[1]
+            fifo: int = op[2]
+            pkt = Packet.from_spec(next(self._pid), u, spec, self._now)
+            self.stats.injected_packets += 1
+            self.stats.injected_wire_bytes += spec.wire_bytes
+            if pkt.dst == u:
+                # Local (self) message: bypasses the network entirely.
+                self._fifo_free[u * self._nfifos + fifo] += 1
+                self._finish_delivery(u, pkt)
+            else:
+                if pkt.dst in self._dead_set:
+                    raise SimulationError(
+                        f"node {u} injected a packet for dead node "
+                        f"{pkt.dst}; strategies must be built with the "
+                        f"fault plan"
+                    )
+                if self._has_loss and spec.seq < 0:
+                    # First transmission of a logical packet: assign its
+                    # sequence number, remember the spec for retransmission
+                    # and arm the timeout.  A retransmitted spec arrives
+                    # here with seq >= 0 and is passed through untouched —
+                    # its timer chain is driven by _on_retx.
+                    seq = next(self._seqno)
+                    pkt.seq = seq
+                    self._outstanding[seq] = (
+                        u, replace(spec, seq=seq, new_message=False)
+                    )
+                    self._post(
+                        self._now + self.faults.retx_timeout_cycles,
+                        _EV_RETX, u, 1, seq,
+                    )
+                fq = self._fifo[u * self._nfifos + fifo]
+                fq.append(pkt)
+                if len(fq) == 1:
+                    self._advance_fifo_head(u, fifo)
+        self._cpu_start_next(u)
+
+    def _finish_delivery(self, u: int, pkt: Packet) -> None:
+        seq = pkt.seq
+        if seq >= 0:
+            if seq in self._delivered_seqs:
+                # The original was slow, not lost; the retransmitted twin
+                # already arrived (or vice versa).  At-most-once delivery:
+                # drop it before the program sees it.
+                self.stats.duplicate_packets += 1
+                return
+            self._delivered_seqs.add(seq)
+            self._outstanding.pop(seq, None)
+        super()._finish_delivery(u, pkt)
+
+    def _on_retx(self, attempt: int, seq: int) -> None:
+        ent = self._outstanding.get(seq)
+        if ent is None:
+            return  # delivered in the meantime; the timer chain ends
+        if attempt > self.faults.max_retx:
+            raise SimulationError(
+                f"packet seq={seq} undelivered after "
+                f"{self.faults.max_retx} retransmissions — the fault plan "
+                f"or routing table is inconsistent"
+            )
+        src, spec = ent
+        st = self.stats
+        st.retransmitted_packets += 1
+        fp = self._fwd_pending[src]
+        fp.append(spec)
+        if len(fp) > st.peak_forward_backlog:
+            st.peak_forward_backlog = len(fp)
+        self._cpu_maybe_start(src)
+        backoff = self.faults.retx_backoff ** min(attempt, 10)
+        self._post(
+            self._now + self.faults.retx_timeout_cycles * backoff,
+            _EV_RETX, src, attempt + 1, seq,
+        )
+
+    # ------------------------------------------------------------------ #
+    # main loop (copy of the base loop + fault event kinds)
+    # ------------------------------------------------------------------ #
+
+    def run(self, program: NodeProgram) -> SimulationResult:
+        self._program = program
+        dead = self._dead_set
+        for u in range(self._p):
+            if u in dead:
+                # A dead node's CPU never runs.  A plan that asks it to
+                # inject is a strategy bug — surface it immediately.
+                if next(iter(program.injection_plan(u)), None) is not None:
+                    raise SimulationError(
+                        f"program injects from dead node {u}; strategies "
+                        f"must be built with the fault plan"
+                    )
+                continue
+            self._plan_iter[u] = iter(program.injection_plan(u))
+            self._pace[u] = program.pace_cycles(u)
+            self._cpu_maybe_start(u)
+
+        events = self._events
+        max_cycles = self.config.max_cycles
+        max_events = self.config.max_events
+        st = self.stats
+        n_events = 0
+
+        while events:
+            t, _, kind, a, b, c = heappop(events)
+            self._now = t
+            n_events += 1
+            if kind == _EV_ARRIVE:
+                self._on_arrive(a, b, c)
+            elif kind == _EV_TOKEN:
+                self._tokens[(a * self._ndirs + b) * self._nvcs + c] += 1
+                w = self._nbr[a][b]
+                if w >= 0:
+                    self._arbitrate_link(w, b ^ 1)
+            elif kind == _EV_LINK_FREE:
+                self._arbitrate_link(a, b)
+            elif kind == _EV_CPU_DONE:
+                self._cpu_complete(a)
+            elif kind == _EV_FIFO_FREE:
+                self._fifo_free[a * self._nfifos + b] += 1
+                self._cpu_maybe_start(a)
+            elif kind == _EV_CPU_WAKE:
+                self._cpu_maybe_start(a)
+            elif kind == _EV_RETX:
+                self._on_retx(b, c)
+            else:  # _EV_OUTAGE: hold the link busy until the window ends
+                li = a * self._ndirs + b
+                if c > self._link_busy[li]:
+                    self._link_busy[li] = c
+            if t > max_cycles:
+                raise self._limit_error(
+                    f"simulation exceeded {max_cycles:.3g} cycles", n_events
+                )
+            if n_events > max_events:
+                raise self._limit_error(
+                    f"simulation exceeded {max_events} events", n_events
+                )
+
+        st.events_processed = n_events
+        self._check_quiescent()
+        expected = program.expected_final_deliveries()
+        if st.final_deliveries != expected:
+            raise DeadlockError(
+                f"completed with {st.final_deliveries} final deliveries, "
+                f"expected {expected}"
+            )
+        return self._result()
+
+
+def build_network(
+    shape: TorusShape,
+    params: Optional[MachineParams] = None,
+    config: Optional[NetworkConfig] = None,
+    faults: Optional[FaultPlan] = None,
+) -> TorusNetwork:
+    """Instantiate the right network for *faults*.
+
+    The zero-fault path (no plan, or an empty plan) returns the plain
+    :class:`TorusNetwork` — identical code, identical results, no fault
+    branches in the hot loop.
+    """
+    if faults is None or faults.is_empty:
+        return TorusNetwork(shape, params, config)
+    return FaultyTorusNetwork(shape, params, config, faults)

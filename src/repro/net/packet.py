@@ -59,6 +59,10 @@ class PacketSpec:
         Startup charged when ``new_message`` (negative = use the machine's
         packet-runtime alpha).  Message-level strategies (MPI, VMesh) set
         the heavier 1170-cycle alpha here.
+    seq:
+        End-to-end sequence number for at-most-once delivery under packet
+        loss (negative = unsequenced; assigned by the fault-aware network
+        at first injection and reused verbatim on retransmission).
     """
 
     dst: int
@@ -71,6 +75,7 @@ class PacketSpec:
     payload_bytes: int = 0
     extra_cpu_cycles: float = 0.0
     alpha_cycles: float = -1.0
+    seq: int = -1
 
 
 #: Sentinel for "no VC assigned yet".
@@ -95,6 +100,8 @@ class Packet:
         "hops",
         "vc",
         "halfbits",
+        "seq",
+        "downphase",
     )
 
     pid: int
@@ -115,6 +122,12 @@ class Packet:
     #: the hardware/runtime behavior the paper's Eq. 2 peak assumes; a
     #: fixed tie-break would overload one direction by 25 % on even tori.
     halfbits: int
+    #: End-to-end sequence number (negative = unsequenced run).
+    seq: int
+    #: Up*/down* escape phase under faults: True once the packet has taken
+    #: a down link on the escape VC (it may then never climb again while it
+    #: stays on that VC).  Reset whenever the packet moves adaptively.
+    downphase: bool
 
     @classmethod
     def from_spec(
@@ -135,4 +148,6 @@ class Packet:
             hops=0,
             vc=NO_VC,
             halfbits=(pid * 0x9E3779B1) >> 7,
+            seq=spec.seq,
+            downphase=False,
         )

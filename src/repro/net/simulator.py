@@ -153,6 +153,9 @@ class TorusNetwork:
         self._busy_cycles: list[float] = [0.0] * (p * ndirs)
         self.stats = SimStats()
         self._program: Optional[NodeProgram] = None
+        # Directed links that exist; the fault-aware subclass overrides
+        # this with the surviving count so utilization stays meaningful.
+        self._num_links = self.topo.num_links
 
         # Derived costs.
         prm = self.params
@@ -676,12 +679,12 @@ class TorusNetwork:
             else:  # _EV_CPU_WAKE
                 self._cpu_maybe_start(a)
             if t > max_cycles:
-                raise SimulationLimitError(
-                    f"simulation exceeded {max_cycles:.3g} cycles"
+                raise self._limit_error(
+                    f"simulation exceeded {max_cycles:.3g} cycles", n_events
                 )
             if n_events > max_events:
-                raise SimulationLimitError(
-                    f"simulation exceeded {max_events} events"
+                raise self._limit_error(
+                    f"simulation exceeded {max_events} events", n_events
                 )
 
         st.events_processed = n_events
@@ -711,6 +714,24 @@ class TorusNetwork:
     # ------------------------------------------------------------------ #
     # completion
     # ------------------------------------------------------------------ #
+
+    def _limit_error(self, reason: str, n_events: int) -> SimulationLimitError:
+        """Build a :class:`SimulationLimitError` carrying a snapshot of
+        where the run stood when the budget tripped."""
+        in_flight = sum(len(q) for q in self._vcq) + sum(
+            len(q) for q in self._fifo
+        )
+        pending: dict[int, int] = {}
+        for u in range(self._p):
+            n = len(self._recv_pending[u]) + len(self._fwd_pending[u])
+            if n:
+                pending[u] = n
+        return SimulationLimitError(
+            reason,
+            events_processed=n_events,
+            packets_in_flight=in_flight,
+            pending_by_node=pending,
+        )
 
     def _check_quiescent(self) -> None:
         """Verify no packet or work item is stranded after the event queue
@@ -754,7 +775,7 @@ class TorusNetwork:
         return SimulationResult(
             time_cycles=st.last_final_delivery,
             link_busy_cycles=busy,
-            num_links=self.topo.num_links,
+            num_links=self._num_links,
             injected_packets=st.injected_packets,
             delivered_packets=st.delivered_packets,
             final_deliveries=st.final_deliveries,
@@ -765,4 +786,9 @@ class TorusNetwork:
             mean_final_latency=mean_lat,
             max_final_latency=st.final_latency_max,
             peak_forward_backlog=st.peak_forward_backlog,
+            lost_packets=st.lost_packets,
+            retransmitted_packets=st.retransmitted_packets,
+            duplicate_packets=st.duplicate_packets,
+            rerouted_hops=st.rerouted_hops,
+            outage_cycles=st.outage_cycles,
         )

@@ -36,6 +36,16 @@ class SimStats:
     #: yet re-injected) — the intermediate memory credit flow control
     #: bounds (Section 5).
     peak_forward_backlog: int = 0
+    #: Packets dropped on a lossy link (fault injection only).
+    lost_packets: int = 0
+    #: Sender-side retransmissions issued after a timeout.
+    retransmitted_packets: int = 0
+    #: Duplicate deliveries discarded by receiver-side dedup.
+    duplicate_packets: int = 0
+    #: Hops taken in a non-minimal direction to route around faults.
+    rerouted_hops: int = 0
+    #: Sum over links of configured outage-window cycles.
+    outage_cycles: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -58,6 +68,12 @@ class SimulationResult:
     mean_final_latency: float
     max_final_latency: float
     peak_forward_backlog: int = 0
+    #: Fault observability (all zero on a pristine run).
+    lost_packets: int = 0
+    retransmitted_packets: int = 0
+    duplicate_packets: int = 0
+    rerouted_hops: int = 0
+    outage_cycles: float = 0.0
     extras: dict = field(default_factory=dict)
 
     @property

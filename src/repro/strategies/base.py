@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.model.machine import MachineParams
 from repro.model.torus import TorusShape
+from repro.net.faults import FaultPlan
 from repro.net.packet import PacketSpec
 from repro.net.program import BaseProgram
 from repro.strategies.data import ChunkTag, DataChunk
@@ -39,12 +40,18 @@ class AllToAllStrategy(abc.ABC):
         params: Optional[MachineParams] = None,
         seed: int = 0,
         carry_data: bool = False,
+        faults: Optional[FaultPlan] = None,
     ) -> BaseProgram:
         """Build the node program for one all-to-all of *msg_bytes* per
         (ordered) rank pair on *shape*.
 
         ``carry_data=True`` attaches :class:`DataChunk` descriptors for the
         functional engine (costs memory; timed runs leave it off).
+        ``faults`` lets the planner route around dead nodes: dead ranks
+        inject nothing, are dropped from every destination list and are
+        never chosen as intermediates.  Strategies that cannot degrade
+        (their traffic pattern needs every rank) raise ``ValueError`` when
+        the plan kills nodes.
         """
 
     @abc.abstractmethod
@@ -80,6 +87,7 @@ class DirectProgramBase(BaseProgram):
         seed: int,
         carry_data: bool,
         packets_per_round: int = 2,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         require(msg_bytes >= 1, "msg_bytes must be >= 1")
         require(packets_per_round >= 1, "packets_per_round must be >= 1")
@@ -89,6 +97,11 @@ class DirectProgramBase(BaseProgram):
         self.seed = seed
         self.carry_data = carry_data
         self.packets_per_round = packets_per_round
+        self.faults = faults
+        #: Dead ranks the plan must avoid (empty on pristine runs).
+        self.dead_nodes: frozenset[int] = (
+            faults.dead_nodes if faults is not None else frozenset()
+        )
         #: Wire sizes of one message's packets (header in the first).
         self.packet_sizes = params.packetize_message(msg_bytes)
         #: Payload bytes carried by each packet of a message.
@@ -119,13 +132,23 @@ class DirectProgramBase(BaseProgram):
 
     def destination_order(self, node: int) -> np.ndarray:
         """Random permutation of the other P-1 ranks, derived from the
-        experiment seed and the node id (independent across nodes)."""
+        experiment seed and the node id (independent across nodes).  Dead
+        ranks are dropped before shuffling, so a faulty run re-randomizes
+        over the survivors (and a zero-fault run is bit-identical to the
+        pristine permutation)."""
         p = self.shape.nnodes
         rng = derive_rng(self.seed, "destorder", node)
         dests = np.arange(p, dtype=np.int64)
         dests = np.delete(dests, node)
+        if self.dead_nodes:
+            keep = [i for i, d in enumerate(dests) if d not in self.dead_nodes]
+            dests = dests[keep]
         rng.shuffle(dests)
         return dests
+
+    def alive_count(self) -> int:
+        """Number of surviving (participating) ranks."""
+        return self.shape.nnodes - len(self.dead_nodes)
 
     def message_packets(
         self, src: int, dst: int, kind: str, spec_dst: int,

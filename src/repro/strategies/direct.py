@@ -25,6 +25,7 @@ import numpy as np
 from repro.model.alltoall import peak_time_cycles, simple_direct_time_cycles
 from repro.model.machine import MachineParams
 from repro.model.torus import TorusShape
+from repro.net.faults import FaultPlan
 from repro.net.packet import PacketSpec, RoutingMode
 from repro.strategies.base import AllToAllStrategy, DirectProgramBase
 from repro.strategies.data import ChunkTag, DataChunk
@@ -49,9 +50,11 @@ class DirectProgram(DirectProgramBase):
         packets_per_round: int = 2,
         pace: float = 0.0,
         alpha_override: float = -1.0,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         super().__init__(
-            shape, msg_bytes, params, seed, carry_data, packets_per_round
+            shape, msg_bytes, params, seed, carry_data, packets_per_round,
+            faults=faults,
         )
         self.mode = mode
         self._pace = pace
@@ -81,6 +84,8 @@ class DirectProgram(DirectProgramBase):
         )
 
     def injection_plan(self, node: int) -> Iterator[PacketSpec]:
+        if node in self.dead_nodes:
+            return
         order = self.destination_order(node)
         npk = len(self.packet_sizes)
         k = self.packets_per_round
@@ -99,8 +104,8 @@ class DirectProgram(DirectProgramBase):
                 remaining -= take
 
     def expected_final_deliveries(self) -> int:
-        p = self.shape.nnodes
-        return p * (p - 1) * len(self.packet_sizes)
+        a = self.alive_count()
+        return a * (a - 1) * len(self.packet_sizes)
 
     def pace_cycles(self, node: int) -> float:
         return self._pace
@@ -119,6 +124,7 @@ class _DirectStrategy(AllToAllStrategy):
         params: Optional[MachineParams] = None,
         seed: int = 0,
         carry_data: bool = False,
+        faults: Optional[FaultPlan] = None,
     ) -> DirectProgram:
         params = params or MachineParams.bluegene_l()
         return DirectProgram(
@@ -130,6 +136,7 @@ class _DirectStrategy(AllToAllStrategy):
             self.mode,
             packets_per_round=self.packets_per_round,
             pace=self._pace(shape, msg_bytes, params),
+            faults=faults,
         )
 
     def _pace(
@@ -181,6 +188,7 @@ class MPIDirect(_DirectStrategy):
         params: Optional[MachineParams] = None,
         seed: int = 0,
         carry_data: bool = False,
+        faults: Optional[FaultPlan] = None,
     ) -> DirectProgram:
         params = params or MachineParams.bluegene_l()
         return DirectProgram(
@@ -192,6 +200,7 @@ class MPIDirect(_DirectStrategy):
             self.mode,
             packets_per_round=self.packets_per_round,
             alpha_override=params.alpha_message_cycles,
+            faults=faults,
         )
 
     def predict_cycles(

@@ -26,6 +26,7 @@ from typing import Iterable, Iterator, Optional
 
 from repro.model.machine import MachineParams
 from repro.model.torus import TorusShape
+from repro.net.faults import FaultPlan
 from repro.net.packet import Packet, PacketSpec, RoutingMode
 from repro.strategies.data import ChunkTag
 from repro.strategies.tps import PHASE1_GROUP, PHASE2_GROUP, TPSProgram, TwoPhaseSchedule
@@ -153,9 +154,11 @@ class CreditedTPSProgram(TPSProgram):
         total_credits = 0
         p = self.shape.nnodes
         for src in range(p):
+            if src in self.dead_nodes:
+                continue
             per_mid: dict[int, int] = defaultdict(int)
             for dst in range(p):
-                if dst == src:
+                if dst == src or dst in self.dead_nodes:
                     continue
                 mid = self.intermediate_for(src, dst)
                 if mid != src and mid != dst:
@@ -195,6 +198,7 @@ class CreditedTPS(TwoPhaseSchedule):
         params: Optional[MachineParams] = None,
         seed: int = 0,
         carry_data: bool = False,
+        faults: Optional[FaultPlan] = None,
     ) -> CreditedTPSProgram:
         params = params or MachineParams.bluegene_l()
         return CreditedTPSProgram(
@@ -208,6 +212,7 @@ class CreditedTPS(TwoPhaseSchedule):
             pipelined=self.pipelined,
             window=self.window,
             packets_per_credit=self.packets_per_credit,
+            faults=faults,
         )
 
     def credit_bandwidth_overhead(self, params: Optional[MachineParams] = None) -> float:

@@ -27,12 +27,23 @@ import numpy as np
 
 from repro.model.machine import MachineParams
 from repro.model.torus import TorusShape
+from repro.net.faults import FaultPlan
 from repro.net.packet import Packet, PacketSpec, RoutingMode
 from repro.net.program import BaseProgram
 from repro.strategies.base import AllToAllStrategy
 from repro.strategies.tps import PHASE1_GROUP, PHASE2_GROUP, choose_linear_axis
 from repro.util.rng import derive_rng
 from repro.util.validation import require
+
+
+def _reject_dead_nodes(faults: Optional[FaultPlan], name: str) -> None:
+    """Many-to-many patterns name explicit ranks, so a dead endpoint makes
+    the pattern unsatisfiable rather than degradable."""
+    if faults is not None and faults.dead_nodes:
+        raise ValueError(
+            f"{name} cannot degrade around dead nodes (the traffic matrix "
+            f"names explicit ranks); filter the pattern instead"
+        )
 
 
 class ManyToManyPattern:
@@ -229,8 +240,10 @@ class ManyToManyDirect(AllToAllStrategy):
         params: Optional[MachineParams] = None,
         seed: int = 0,
         carry_data: bool = False,
+        faults: Optional[FaultPlan] = None,
     ) -> _M2MDirectProgram:
         require(not carry_data, "many-to-many programs carry no data chunks")
+        _reject_dead_nodes(faults, self.name)
         params = params or MachineParams.bluegene_l()
         require(self.pattern.nnodes == shape.nnodes, "pattern/shape mismatch")
         return _M2MDirectProgram(shape, self.pattern, params, seed)
@@ -273,8 +286,10 @@ class ManyToManyTPS(ManyToManyDirect):
         params: Optional[MachineParams] = None,
         seed: int = 0,
         carry_data: bool = False,
+        faults: Optional[FaultPlan] = None,
     ) -> _M2MTPSProgram:
         require(not carry_data, "many-to-many programs carry no data chunks")
+        _reject_dead_nodes(faults, self.name)
         params = params or MachineParams.bluegene_l()
         require(self.pattern.nnodes == shape.nnodes, "pattern/shape mismatch")
         return _M2MTPSProgram(

@@ -285,6 +285,23 @@ class TestLimits:
         with pytest.raises(SimulationLimitError):
             run_plans("4", plans, prm, cfg)
 
+    def test_limit_error_carries_diagnostics(self):
+        # A limit abort must say *where* the simulation was stuck, not just
+        # that it stopped: event count, packets still in the network, and
+        # the per-node pending-work hotspots.
+        prm = ideal_params()
+        cfg = NetworkConfig.from_machine(prm, max_events=10)
+        plans = [[PacketSpec(dst=1, wire_bytes=64)] * 50, [], [], []]
+        with pytest.raises(SimulationLimitError) as ei:
+            run_plans("4", plans, prm, cfg)
+        err = ei.value
+        assert err.events_processed >= 10
+        assert err.packets_in_flight >= 0
+        assert isinstance(err.pending_by_node, dict)
+        msg = str(err)
+        assert "events_processed=" in msg
+        assert "packets_in_flight=" in msg
+
 
 class TestDeterminism:
     def test_identical_runs_identical_results(self):

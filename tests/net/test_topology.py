@@ -61,6 +61,65 @@ class TestNeighborTable:
         assert (topo.neighbor[:, 2:] == -1).all()
 
 
+class TestDegenerateShapes:
+    """Extent-1 dimensions, meshes, and tiny rings: the neighbor table must
+    stay reciprocal, ``num_links`` must match the shape's own count, and no
+    routing helper may ever point at an absent (-1) link."""
+
+    SHAPES = [
+        TorusShape.parse("1"),
+        TorusShape.parse("2"),
+        TorusShape.parse("2x2"),
+        TorusShape.parse("1x4"),
+        TorusShape.parse("4M"),
+        TorusShape.parse("3x1x3"),
+        TorusShape.parse("2x2M"),
+        TorusShape((1, 1, 5), (True, True, True)),
+    ]
+
+    @pytest.mark.parametrize("shape", SHAPES, ids=lambda s: s.label)
+    def test_neighbor_table_consistent(self, shape):
+        topo = Topology(shape)
+        present = 0
+        for u in range(topo.nnodes):
+            for d in range(topo.ndirs):
+                v = topo.neighbor[u, d]
+                if v >= 0:
+                    assert topo.neighbor[v, d ^ 1] == u
+                    assert v != u or shape.dims[d >> 1] == 1
+                    present += 1
+        assert topo.num_links == present
+
+    @pytest.mark.parametrize("shape", SHAPES, ids=lambda s: s.label)
+    def test_routing_never_uses_absent_links(self, shape):
+        topo = Topology(shape)
+        for src in range(topo.nnodes):
+            for dst in range(topo.nnodes):
+                for d in topo.profitable_directions(src, dst):
+                    assert topo.neighbor[src, d] >= 0
+                d = topo.dimension_order_direction(src, dst)
+                if src != dst:
+                    assert d >= 0
+                    assert topo.neighbor[src, d] >= 0
+                else:
+                    assert d == -1
+
+    def test_extent_two_ring_is_effectively_a_mesh(self):
+        # Wrapping a 2-ring would create a double link between the two
+        # nodes; the table instead keeps a single wire per axis (positive
+        # direction from the lower coordinate), i.e. an effective mesh.
+        topo = Topology(TorusShape.parse("2x2"))
+        shape = topo.shape
+        for axis in range(2):
+            assert not shape.wrap_effective(axis)
+        lo = shape.rank((0, 0))
+        hi = shape.rank((1, 0))
+        assert topo.neighbor[lo, direction_of(0, True)] == hi
+        assert topo.neighbor[lo, direction_of(0, False)] == -1
+        assert topo.neighbor[hi, direction_of(0, False)] == lo
+        assert topo.neighbor[hi, direction_of(0, True)] == -1
+
+
 class TestRouting:
     def test_profitable_directions(self):
         topo = Topology(TorusShape.parse("8x8x8"))

@@ -1,0 +1,194 @@
+#!/usr/bin/env python
+"""Simulator-core microbenchmark and timing-regression gate.
+
+Measures two things and writes them to ``BENCH_simcore.json``:
+
+* **single-point throughput** — wall time and events/second for one
+  all-to-all simulation (the PR's acceptance point is the 512-node
+  ``8x8x8`` adaptive-routing run at ``--scale paper``; ``--scale ci``
+  uses a ``4x4x4`` point small enough for a smoke job);
+* **sweep scaling** — wall time for a cold message-size sweep at
+  ``jobs=1`` vs ``jobs=4`` through :mod:`repro.runner`, with the cache
+  disabled so every point actually simulates.
+
+``--check`` compares the measured single-point throughput against the
+committed ``baseline.json`` for the same scale and exits non-zero on a
+>2x slowdown (events/second is used rather than raw wall time so the
+gate tracks simulator work, not machine speed differences in the sweep
+fan-out).  Refresh the baseline with ``--write-baseline`` after an
+intentional perf-relevant change, on a quiet machine.
+
+Usage::
+
+    python benchmarks/perf/bench_simcore.py --scale ci --check
+    python benchmarks/perf/bench_simcore.py --scale paper
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+REPO = HERE.parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.api import simulate_alltoall  # noqa: E402
+from repro.model.torus import TorusShape  # noqa: E402
+from repro.runner import SimPoint, run_points  # noqa: E402
+from repro.strategies import ARDirect  # noqa: E402
+
+#: Single-point benchmark per scale: (shape, msg_bytes, seed, repeats).
+POINTS = {
+    "ci": ("4x4x4", 64, 1, 3),
+    "paper": ("8x8x8", 64, 1, 1),
+}
+
+#: Sweep-scaling benchmark per scale: (shape, msg sizes, seed).
+SWEEPS = {
+    "ci": ("4x4x4", [256, 320, 384, 448], 1),
+    "paper": ("8x8x4", [16, 32, 48, 64], 1),
+}
+
+SLOWDOWN_LIMIT = 2.0
+
+
+def bench_single_point(scale: str) -> dict:
+    spec, msg, seed, repeats = POINTS[scale]
+    shape = TorusShape.parse(spec)
+    best = None
+    run = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        run = simulate_alltoall(ARDirect(), shape, msg, seed=seed)
+        dt = time.perf_counter() - t0
+        best = dt if best is None else min(best, dt)
+    assert run is not None and best is not None
+    events = run.result.events_processed
+    return {
+        "name": f"single_point_{scale}",
+        "shape": spec,
+        "msg_bytes": msg,
+        "seed": seed,
+        "repeats": repeats,
+        "wall_s": round(best, 4),
+        "events": events,
+        "events_per_sec": round(events / best, 1),
+        "time_cycles": run.result.time_cycles,
+    }
+
+
+def bench_sweep_scaling(scale: str) -> dict:
+    spec, sizes, seed = SWEEPS[scale]
+    shape = TorusShape.parse(spec)
+    # Cache off: both runs must execute every simulation for the
+    # comparison to measure the pool, not the cache.
+    os.environ["REPRO_CACHE"] = "0"
+    timings = {}
+    for jobs in (1, 4):
+        pts = [SimPoint(ARDirect(), shape, m, seed=seed) for m in sizes]
+        t0 = time.perf_counter()
+        run_points(pts, jobs=jobs)
+        timings[jobs] = time.perf_counter() - t0
+    os.environ.pop("REPRO_CACHE", None)
+    return {
+        "name": f"sweep_scaling_{scale}",
+        "shape": spec,
+        "points": len(sizes),
+        "wall_s_jobs1": round(timings[1], 4),
+        "wall_s_jobs4": round(timings[4], 4),
+        "parallel_speedup": round(timings[1] / timings[4], 2),
+    }
+
+
+def check(report: dict, baseline_path: Path) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    base_by_name = {b["name"]: b for b in baseline["benchmarks"]}
+    failures = []
+    for bench in report["benchmarks"]:
+        base = base_by_name.get(bench["name"])
+        if base is None or "events_per_sec" not in bench:
+            continue
+        ratio = base["events_per_sec"] / bench["events_per_sec"]
+        verdict = "FAIL" if ratio > SLOWDOWN_LIMIT else "ok"
+        print(
+            f"  {bench['name']}: {bench['events_per_sec']:.0f} ev/s "
+            f"(baseline {base['events_per_sec']:.0f}, "
+            f"slowdown x{ratio:.2f}, limit x{SLOWDOWN_LIMIT}) [{verdict}]"
+        )
+        if ratio > SLOWDOWN_LIMIT:
+            failures.append(bench["name"])
+        # Sanity: the optimized core must still replay the exact same
+        # event stream as when the baseline was recorded.
+        if base.get("events") != bench.get("events"):
+            print(
+                f"  {bench['name']}: event count changed "
+                f"{base.get('events')} -> {bench.get('events')} [FAIL]"
+            )
+            failures.append(bench["name"] + ":events")
+    if failures:
+        print(f"timing regression: {', '.join(failures)}")
+        return 1
+    print("timing check passed")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--scale", choices=sorted(POINTS), default="ci")
+    ap.add_argument(
+        "--output", type=Path, default=HERE / "BENCH_simcore.json"
+    )
+    ap.add_argument("--baseline", type=Path, default=HERE / "baseline.json")
+    ap.add_argument(
+        "--check",
+        action="store_true",
+        help=f"fail on >{SLOWDOWN_LIMIT}x slowdown vs the committed baseline",
+    )
+    ap.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record this run as the new committed baseline",
+    )
+    args = ap.parse_args(argv)
+
+    report = {
+        "schema": 1,
+        "scale": args.scale,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count(),
+        "benchmarks": [
+            bench_single_point(args.scale),
+            bench_sweep_scaling(args.scale),
+        ],
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    for b in report["benchmarks"]:
+        print(json.dumps(b))
+    print(f"wrote {args.output}")
+
+    if args.write_baseline:
+        # Merge by benchmark name so ci- and paper-scale baselines can
+        # coexist in one committed file.
+        merged = dict(report)
+        if args.baseline.exists():
+            old = json.loads(args.baseline.read_text())
+            fresh = {b["name"] for b in report["benchmarks"]}
+            merged["benchmarks"] = [
+                b for b in old.get("benchmarks", []) if b["name"] not in fresh
+            ] + report["benchmarks"]
+        args.baseline.write_text(json.dumps(merged, indent=2) + "\n")
+        print(f"wrote {args.baseline}")
+    if args.check:
+        return check(report, args.baseline)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,10 +5,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-from repro.api import AllToAllRun, simulate_alltoall
+from repro.api import AllToAllRun
 from repro.model.machine import MachineParams
 from repro.model.torus import TorusShape
 from repro.net.config import NetworkConfig
+from repro.runner import SimPoint, run_points
 from repro.strategies.base import AllToAllStrategy
 
 
@@ -39,12 +40,15 @@ def message_size_sweep(
     params: Optional[MachineParams] = None,
     config: Optional[NetworkConfig] = None,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> list[SweepPoint]:
-    """Simulate the all-to-all at every message size in *sizes*."""
-    return [
-        SweepPoint(m, simulate_alltoall(strategy, shape, m, params, config, seed))
-        for m in sizes
-    ]
+    """Simulate the all-to-all at every message size in *sizes* (through
+    the parallel runner and its result cache)."""
+    runs = run_points(
+        [SimPoint(strategy, shape, m, params, config, seed) for m in sizes],
+        jobs=jobs,
+    )
+    return [SweepPoint(m, run) for m, run in zip(sizes, runs)]
 
 
 def geometric_sizes(lo: int, hi: int, per_decade: int = 4) -> list[int]:

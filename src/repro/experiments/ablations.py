@@ -14,7 +14,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.api import simulate_alltoall
 from repro.experiments.common import (
     ExperimentResult,
     LARGE_MESSAGE_BYTES,
@@ -24,11 +23,14 @@ from repro.experiments.common import (
 )
 from repro.experiments.paperdata import AXIS_NAMES
 from repro.model.torus import TorusShape
+from repro.runner import SimPoint, run_points
 from repro.strategies import DRDirect, TwoPhaseSchedule, VirtualMesh2D
 from repro.strategies.flowcontrol import CreditedTPS
 
 
-def tps_linear_axis(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
+def tps_linear_axis(
+    scale: Optional[str] = None, seed: int = 0, jobs: Optional[int] = None
+) -> ExperimentResult:
     """Force each axis as TPS's linear dimension on the 8x32x16 shape."""
     scale = resolve_scale(scale)
     params = default_params()
@@ -42,10 +44,14 @@ def tps_linear_axis(scale: Optional[str] = None, seed: int = 0) -> ExperimentRes
     from repro.strategies.tps import choose_linear_axis
 
     chosen = choose_linear_axis(shape)
-    for axis in range(shape.ndim):
-        run = simulate_alltoall(
-            TwoPhaseSchedule(linear_axis=axis), shape, m, params, seed=seed
-        )
+    runs = run_points(
+        [
+            SimPoint(TwoPhaseSchedule(linear_axis=axis), shape, m, params, seed=seed)
+            for axis in range(shape.ndim)
+        ],
+        jobs=jobs,
+    )
+    for axis, run in enumerate(runs):
         result.rows.append(
             {
                 "linear dim": AXIS_NAMES[axis],
@@ -56,7 +62,9 @@ def tps_linear_axis(scale: Optional[str] = None, seed: int = 0) -> ExperimentRes
     return result
 
 
-def tps_pipelining(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
+def tps_pipelining(
+    scale: Optional[str] = None, seed: int = 0, jobs: Optional[int] = None
+) -> ExperimentResult:
     """Reserved-FIFO pipelining on vs off."""
     scale = resolve_scale(scale)
     params = default_params()
@@ -67,15 +75,22 @@ def tps_pipelining(scale: Optional[str] = None, seed: int = 0) -> ExperimentResu
         title=f"Ablation: TPS reserved-FIFO pipelining on {shape.label}",
         columns=["variant", "TPS % of peak"],
     )
-    for name, pipelined in (("reserved FIFOs (paper)", True), ("shared FIFOs", False)):
-        run = simulate_alltoall(
-            TwoPhaseSchedule(pipelined=pipelined), shape, m, params, seed=seed
-        )
+    variants = [("reserved FIFOs (paper)", True), ("shared FIFOs", False)]
+    runs = run_points(
+        [
+            SimPoint(TwoPhaseSchedule(pipelined=p), shape, m, params, seed=seed)
+            for _, p in variants
+        ],
+        jobs=jobs,
+    )
+    for (name, _), run in zip(variants, runs):
         result.rows.append({"variant": name, "TPS % of peak": run.percent_of_peak})
     return result
 
 
-def dr_longest_axis(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
+def dr_longest_axis(
+    scale: Optional[str] = None, seed: int = 0, jobs: Optional[int] = None
+) -> ExperimentResult:
     """DR on the three rotations of 2n x n x n (Section 3.2)."""
     scale = resolve_scale(scale)
     params = default_params()
@@ -85,9 +100,13 @@ def dr_longest_axis(scale: Optional[str] = None, seed: int = 0) -> ExperimentRes
         title="Ablation: DR vs which dimension is longest (2n x n x n)",
         columns=["partition", "simulated", "DR % of peak"],
     )
-    for lbl in ("16x8x8", "8x16x8", "8x8x16"):
-        shape, _ = shape_for_scale(TorusShape.parse(lbl), scale)
-        run = simulate_alltoall(DRDirect(), shape, m, params, seed=seed)
+    labels = ("16x8x8", "8x16x8", "8x8x16")
+    shapes = [shape_for_scale(TorusShape.parse(lbl), scale)[0] for lbl in labels]
+    runs = run_points(
+        [SimPoint(DRDirect(), shape, m, params, seed=seed) for shape in shapes],
+        jobs=jobs,
+    )
+    for lbl, shape, run in zip(labels, shapes, runs):
         result.rows.append(
             {
                 "partition": lbl,
@@ -98,7 +117,9 @@ def dr_longest_axis(scale: Optional[str] = None, seed: int = 0) -> ExperimentRes
     return result
 
 
-def vmesh_factorization(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
+def vmesh_factorization(
+    scale: Optional[str] = None, seed: int = 0, jobs: Optional[int] = None
+) -> ExperimentResult:
     """Square vs skewed virtual-mesh factorizations (Section 4.2 says keep
     rows and columns about the same)."""
     scale = resolve_scale(scale)
@@ -117,10 +138,14 @@ def vmesh_factorization(scale: Optional[str] = None, seed: int = 0) -> Experimen
         title=f"Ablation: VMesh factorization on {shape.label}, m={m} B",
         columns=["pvx x pvy", "time us", "alpha messages"],
     )
-    for pvx, pvy in factorizations:
-        run = simulate_alltoall(
-            VirtualMesh2D(pvx=pvx, pvy=pvy), shape, m, params, seed=seed
-        )
+    runs = run_points(
+        [
+            SimPoint(VirtualMesh2D(pvx=pvx, pvy=pvy), shape, m, params, seed=seed)
+            for pvx, pvy in factorizations
+        ],
+        jobs=jobs,
+    )
+    for (pvx, pvy), run in zip(factorizations, runs):
         result.rows.append(
             {
                 "pvx x pvy": f"{pvx}x{pvy}",
@@ -131,14 +156,15 @@ def vmesh_factorization(scale: Optional[str] = None, seed: int = 0) -> Experimen
     return result
 
 
-def credit_overhead(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
+def credit_overhead(
+    scale: Optional[str] = None, seed: int = 0, jobs: Optional[int] = None
+) -> ExperimentResult:
     """Credit-period sweep: measured slowdown vs plain TPS, and the
     paper's predicted ~1 % bandwidth overhead at 10 packets/credit."""
     scale = resolve_scale(scale)
     params = default_params()
     shape, tier = shape_for_scale(TorusShape.parse("8x8x16"), scale)
     m = LARGE_MESSAGE_BYTES[scale]
-    base = simulate_alltoall(TwoPhaseSchedule(), shape, m, params, seed=seed)
     result = ExperimentResult(
         exp_id="ablate_credit_overhead",
         title=f"Ablation: credit flow control overhead on {shape.label}",
@@ -150,6 +176,17 @@ def credit_overhead(scale: Optional[str] = None, seed: int = 0) -> ExperimentRes
             "peak fwd backlog",
         ],
     )
+    sweep = [(2, 8), (5, 16), (10, 32)]
+    strats = [
+        CreditedTPS(window=window, packets_per_credit=k) for k, window in sweep
+    ]
+    # Point 0 is the plain-TPS baseline the sweep normalizes to.
+    runs = run_points(
+        [SimPoint(TwoPhaseSchedule(), shape, m, params, seed=seed)]
+        + [SimPoint(s, shape, m, params, seed=seed) for s in strats],
+        jobs=jobs,
+    )
+    base = runs[0]
     result.rows.append(
         {
             "packets/credit": "none",
@@ -159,9 +196,7 @@ def credit_overhead(scale: Optional[str] = None, seed: int = 0) -> ExperimentRes
             "peak fwd backlog": base.result.peak_forward_backlog,
         }
     )
-    for k, window in ((2, 8), (5, 16), (10, 32)):
-        strat = CreditedTPS(window=window, packets_per_credit=k)
-        run = simulate_alltoall(strat, shape, m, params, seed=seed)
+    for (k, window), strat, run in zip(sweep, strats, runs[1:]):
         result.rows.append(
             {
                 "packets/credit": k,

@@ -1,15 +1,22 @@
-"""Command-line entry point: ``bgl-alltoall``.
+"""Command-line entry point: ``bgl-alltoall`` / ``repro-experiments``.
 
 Run paper experiments and ablations from the shell::
 
     bgl-alltoall list
     bgl-alltoall run tab3_tps --scale small
-    bgl-alltoall run all --scale tiny
+    bgl-alltoall run all --scale tiny --jobs 4
+
+``--jobs N`` fans independent simulation points over N worker processes
+(default: the ``REPRO_JOBS`` env var, else 1); the rendered tables are
+byte-identical for any job count.  Results are cached on disk under
+``REPRO_CACHE_DIR`` (default ``~/.cache/repro``); ``--no-cache`` or
+``REPRO_CACHE=0`` disables the cache.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -27,6 +34,18 @@ def main(argv: list[str] | None = None) -> int:
     runp.add_argument("exp_id", help="experiment id, or 'all'")
     runp.add_argument("--scale", default=None, choices=["tiny", "small", "full"])
     runp.add_argument("--seed", type=int, default=0)
+    runp.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for independent simulation points "
+        "(default: REPRO_JOBS env var, else 1; 0 = all cores)",
+    )
+    runp.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache for this invocation",
+    )
     args = parser.parse_args(argv)
 
     if args.cmd == "list":
@@ -35,10 +54,15 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{eid:24s} [{kind}]")
         return 0
 
+    if args.no_cache:
+        os.environ["REPRO_CACHE"] = "0"
+
     ids = list(ALL) if args.exp_id == "all" else [args.exp_id]
     for eid in ids:
         t0 = time.time()
-        result = run_experiment(eid, scale=args.scale, seed=args.seed)
+        result = run_experiment(
+            eid, scale=args.scale, seed=args.seed, jobs=args.jobs
+        )
         print(result.render())
         print(f"  ({time.time() - t0:.1f}s)\n")
     return 0

@@ -16,6 +16,7 @@ Tiers are reported per row: ``A`` full-scale DES, ``B`` shape-scaled DES,
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -43,7 +44,11 @@ def resolve_scale(scale: Optional[str]) -> str:
 def scale_shape(shape: TorusShape, max_nodes: int) -> tuple[TorusShape, int]:
     """Shape-preserving reduction: halve every dimension until the node
     count fits *max_nodes* (dimensions floor at 2).  Returns the reduced
-    shape and the divisor applied."""
+    shape and the divisor applied.
+
+    When every dimension has bottomed out at 2 and the node count still
+    exceeds *max_nodes*, the reduction cannot go further; a warning is
+    emitted instead of silently returning an over-budget shape."""
     divisor = 1
     dims = list(shape.dims)
     while True:
@@ -53,6 +58,12 @@ def scale_shape(shape: TorusShape, max_nodes: int) -> tuple[TorusShape, int]:
         if p <= max_nodes:
             break
         if all(d <= 2 for d in dims):
+            warnings.warn(
+                f"scale_shape: {shape.label} bottomed out at "
+                f"{'x'.join(str(d) for d in dims)} ({p} nodes), which still "
+                f"exceeds max_nodes={max_nodes}",
+                stacklevel=2,
+            )
             break
         dims = [max(2, d // 2) for d in dims]
         divisor *= 2
@@ -95,7 +106,10 @@ class ExperimentResult:
         for r in self.rows:
             if r.get(key_col) == key:
                 return r
-        raise KeyError(f"no row with {key_col}={key!r}")
+        available = [r.get(key_col) for r in self.rows]
+        raise KeyError(
+            f"no row with {key_col}={key!r}; available values: {available!r}"
+        )
 
 
 def default_params() -> MachineParams:

@@ -33,7 +33,9 @@ _SIZES = {
 _SHAPES = {"tiny": "4x4x4", "small": "8x8x8", "full": "8x8x8"}
 
 
-def run(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
+def run(
+    scale: Optional[str] = None, seed: int = 0, jobs: Optional[int] = None
+) -> ExperimentResult:
     scale = resolve_scale(scale)
     params = default_params()
     shape = TorusShape.parse(_SHAPES[scale])
@@ -50,7 +52,9 @@ def run(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
             "per-node MB/s",
         ],
     )
-    points = message_size_sweep(ARDirect(), shape, sizes, params, seed=seed)
+    points = message_size_sweep(
+        ARDirect(), shape, sizes, params, seed=seed, jobs=jobs
+    )
     for pt in points:
         m = pt.m_bytes
         result.rows.append(

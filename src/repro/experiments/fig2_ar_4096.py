@@ -32,7 +32,9 @@ _SIZES = {
 }
 
 
-def run(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
+def run(
+    scale: Optional[str] = None, seed: int = 0, jobs: Optional[int] = None
+) -> ExperimentResult:
     scale = resolve_scale(scale)
     params = default_params()
     paper_shape = TorusShape.parse("16x16x16")
@@ -49,7 +51,9 @@ def run(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
             "Eq.3 % of peak",
         ],
     )
-    points = message_size_sweep(ARDirect(), sim_shape, sizes, params, seed=seed)
+    points = message_size_sweep(
+        ARDirect(), sim_shape, sizes, params, seed=seed, jobs=jobs
+    )
     for pt in points:
         m = pt.m_bytes
         pred = simple_direct_time_cycles(paper_shape, m, params)

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.api import simulate_alltoall
 from repro.experiments.common import (
     ExperimentResult,
     LARGE_MESSAGE_BYTES,
@@ -19,6 +18,7 @@ from repro.experiments.common import (
     shape_for_scale,
 )
 from repro.model.torus import TorusShape
+from repro.runner import SimPoint, run_points
 from repro.strategies import ARDirect
 from repro.util.units import CLOCK_HZ
 
@@ -37,7 +37,9 @@ _PARTITIONS = {
 ONE_PACKET_BYTES = 208
 
 
-def run(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
+def run(
+    scale: Optional[str] = None, seed: int = 0, jobs: Optional[int] = None
+) -> ExperimentResult:
     scale = resolve_scale(scale)
     params = default_params()
     m_large = LARGE_MESSAGE_BYTES[scale]
@@ -53,13 +55,20 @@ def run(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
             "peak MB/s/node",
         ],
     )
-    for lbl in _PARTITIONS[scale]:
-        paper_shape = TorusShape.parse(lbl)
-        shape, tier = shape_for_scale(paper_shape, scale)
-        one = simulate_alltoall(
-            ARDirect(), shape, ONE_PACKET_BYTES, params, seed=seed
-        )
-        big = simulate_alltoall(ARDirect(), shape, m_large, params, seed=seed)
+    shapes = [
+        (lbl, *shape_for_scale(TorusShape.parse(lbl), scale))
+        for lbl in _PARTITIONS[scale]
+    ]
+    runs = run_points(
+        [
+            SimPoint(ARDirect(), shape, m, params, seed=seed)
+            for _, shape, _ in shapes
+            for m in (ONE_PACKET_BYTES, m_large)
+        ],
+        jobs=jobs,
+    )
+    for i, (lbl, shape, tier) in enumerate(shapes):
+        one, big = runs[2 * i], runs[2 * i + 1]
         peak = (
             shape.per_node_peak_bandwidth(params.beta_cycles_per_byte)
             * CLOCK_HZ

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.api import simulate_alltoall
 from repro.experiments.common import (
     ExperimentResult,
     LARGE_MESSAGE_BYTES,
@@ -20,6 +19,7 @@ from repro.experiments.common import (
     shape_for_scale,
 )
 from repro.model.torus import TorusShape
+from repro.runner import SimPoint, run_points
 from repro.strategies import ARDirect, DRDirect, ThrottledAR
 
 EXP_ID = "fig4_direct"
@@ -35,7 +35,9 @@ _PARTITIONS = {
 }
 
 
-def run(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
+def run(
+    scale: Optional[str] = None, seed: int = 0, jobs: Optional[int] = None
+) -> ExperimentResult:
     scale = resolve_scale(scale)
     params = default_params()
     m = LARGE_MESSAGE_BYTES[scale]
@@ -44,18 +46,24 @@ def run(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
         title=TITLE,
         columns=["partition", "simulated", "tier", "AR %", "DR %", "AR-throttle %"],
     )
-    for lbl in _PARTITIONS[scale]:
-        paper_shape = TorusShape.parse(lbl)
-        shape, tier = shape_for_scale(paper_shape, scale)
+    cols = ["AR %", "DR %", "AR-throttle %"]
+    strategies = [ARDirect, DRDirect, ThrottledAR]
+    shapes = [
+        (lbl, *shape_for_scale(TorusShape.parse(lbl), scale))
+        for lbl in _PARTITIONS[scale]
+    ]
+    runs = run_points(
+        [
+            SimPoint(cls(), shape, m, params, seed=seed)
+            for _, shape, _ in shapes
+            for cls in strategies
+        ],
+        jobs=jobs,
+    )
+    for i, (lbl, shape, tier) in enumerate(shapes):
         row = {"partition": lbl, "simulated": shape.label, "tier": tier}
-        for strat, col in (
-            (ARDirect(), "AR %"),
-            (DRDirect(), "DR %"),
-            (ThrottledAR(), "AR-throttle %"),
-        ):
-            row[col] = simulate_alltoall(
-                strat, shape, m, params, seed=seed
-            ).percent_of_peak
+        for j, col in enumerate(cols):
+            row[col] = runs[i * len(cols) + j].percent_of_peak
         result.rows.append(row)
     result.notes.append(
         "Section 3.2 shape checks: DR(16x8x8) > DR(8x16x8), DR(8x8x16); "

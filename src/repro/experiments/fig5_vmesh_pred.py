@@ -25,8 +25,11 @@ TITLE = "Figure 5: Eq.4 VMesh prediction, 32x16 mesh on 8x8x8"
 _SIZES = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512]
 
 
-def run(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
+def run(
+    scale: Optional[str] = None, seed: int = 0, jobs: Optional[int] = None
+) -> ExperimentResult:
     resolve_scale(scale)  # validates; the model is scale-independent
+    del jobs  # pure model, nothing to parallelize
     params = default_params()
     shape = TorusShape.parse("8x8x8")
     result = ExperimentResult(

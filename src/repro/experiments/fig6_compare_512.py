@@ -9,10 +9,10 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.api import simulate_alltoall
 from repro.experiments.common import ExperimentResult, default_params, resolve_scale
 from repro.model.alltoall import balanced_vmesh_factors
 from repro.model.torus import TorusShape
+from repro.runner import SimPoint, run_points
 from repro.strategies import ARDirect, VirtualMesh2D
 
 EXP_ID = "fig6_compare_512"
@@ -26,7 +26,9 @@ _SIZES = {
 _SHAPES = {"tiny": "4x4x4", "small": "8x8x8", "full": "8x8x8"}
 
 
-def run(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
+def run(
+    scale: Optional[str] = None, seed: int = 0, jobs: Optional[int] = None
+) -> ExperimentResult:
     scale = resolve_scale(scale)
     params = default_params()
     shape = TorusShape.parse(_SHAPES[scale])
@@ -37,9 +39,17 @@ def run(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
         title=TITLE,
         columns=["m bytes", "AR us", "VMesh us", "VMesh speedup"],
     )
-    for m in _SIZES[scale]:
-        ar = simulate_alltoall(ARDirect(), shape, m, params, seed=seed)
-        vm = simulate_alltoall(vmesh, shape, m, params, seed=seed)
+    sizes = _SIZES[scale]
+    runs = run_points(
+        [
+            SimPoint(strat, shape, m, params, seed=seed)
+            for m in sizes
+            for strat in (ARDirect(), vmesh)
+        ],
+        jobs=jobs,
+    )
+    for i, m in enumerate(sizes):
+        ar, vm = runs[2 * i], runs[2 * i + 1]
         result.rows.append(
             {
                 "m bytes": m,

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.api import simulate_alltoall
 from repro.experiments.common import (
     ExperimentResult,
     default_params,
@@ -19,6 +18,7 @@ from repro.experiments.common import (
 )
 from repro.model.alltoall import balanced_vmesh_factors
 from repro.model.torus import TorusShape
+from repro.runner import SimPoint, run_points
 from repro.strategies import ARDirect, TwoPhaseSchedule, VirtualMesh2D
 
 EXP_ID = "fig7_compare_4096"
@@ -31,7 +31,9 @@ _SIZES = {
 }
 
 
-def run(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
+def run(
+    scale: Optional[str] = None, seed: int = 0, jobs: Optional[int] = None
+) -> ExperimentResult:
     scale = resolve_scale(scale)
     params = default_params()
     paper_shape = TorusShape.parse("8x32x16")
@@ -50,12 +52,20 @@ def run(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
             "VMesh/AR speedup", "VMesh/TPS speedup",
         ],
     )
-    for m in _SIZES[scale]:
-        times = {}
-        for name, strat in strategies:
-            times[name] = simulate_alltoall(
-                strat, shape, m, params, seed=seed
-            ).time_us
+    sizes = _SIZES[scale]
+    runs = run_points(
+        [
+            SimPoint(strat, shape, m, params, seed=seed)
+            for m in sizes
+            for _, strat in strategies
+        ],
+        jobs=jobs,
+    )
+    for i, m in enumerate(sizes):
+        times = {
+            name: runs[i * len(strategies) + j].time_us
+            for j, (name, _) in enumerate(strategies)
+        }
         result.rows.append(
             {
                 "m bytes": m,

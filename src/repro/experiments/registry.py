@@ -1,7 +1,9 @@
 """Registry mapping experiment ids to their drivers.
 
-Each driver is ``run(scale=None, seed=0) -> ExperimentResult``; the
-benchmark harness, the CLI and EXPERIMENTS.md all key off these ids.
+Each driver is ``run(scale=None, seed=0, jobs=None) -> ExperimentResult``;
+the benchmark harness, the CLI and EXPERIMENTS.md all key off these ids.
+``jobs`` fans the driver's independent simulation points over a process
+pool (see :mod:`repro.runner`); results are identical for any job count.
 """
 
 from __future__ import annotations
@@ -67,7 +69,10 @@ def get_driver(exp_id: str) -> Driver:
 
 
 def run_experiment(
-    exp_id: str, scale: Optional[str] = None, seed: int = 0
+    exp_id: str,
+    scale: Optional[str] = None,
+    seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Run one experiment by id."""
-    return get_driver(exp_id)(scale=scale, seed=seed)
+    return get_driver(exp_id)(scale=scale, seed=seed, jobs=jobs)

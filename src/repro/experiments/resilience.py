@@ -21,7 +21,6 @@ import json
 from pathlib import Path
 from typing import Optional
 
-from repro.api import simulate_alltoall
 from repro.experiments.common import (
     ExperimentResult,
     default_params,
@@ -29,6 +28,7 @@ from repro.experiments.common import (
 )
 from repro.model.torus import TorusShape
 from repro.net.faults import FaultPlan
+from repro.runner import SimPoint, run_points
 from repro.strategies.selector import select_strategy
 
 EXP_ID = "resilience_sweep"
@@ -62,7 +62,9 @@ def _results_dir() -> Path:
     return Path.cwd() / "benchmark_results"
 
 
-def run(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
+def run(
+    scale: Optional[str] = None, seed: int = 0, jobs: Optional[int] = None
+) -> ExperimentResult:
     scale = resolve_scale(scale)
     params = default_params()
     shape_label, m = SWEEP_SETUP[scale]
@@ -83,8 +85,9 @@ def run(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
             "rerouted hops",
         ],
     )
-    curve = []
-    baseline_bw = None
+    # Every fault level's plan and strategy are computable upfront, so the
+    # whole sweep fans out as independent points.
+    levels = []
     for dead_frac, loss_p in FAULT_LEVELS:
         if dead_frac == 0.0 and loss_p == 0.0:
             plan = None
@@ -105,9 +108,19 @@ def run(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
             )
             links_alive = shape.total_links - 2 * len(plan.dead_links)
         strategy = select_strategy(shape, m, params, faults=plan)
-        run_ = simulate_alltoall(
-            strategy, shape, m, params, seed=seed, faults=plan
-        )
+        levels.append((dead_frac, loss_p, plan, links_alive, strategy))
+    runs = run_points(
+        [
+            SimPoint(strategy, shape, m, params, seed=seed, faults=plan)
+            for _, _, plan, _, strategy in levels
+        ],
+        jobs=jobs,
+    )
+    curve = []
+    baseline_bw = None
+    for (dead_frac, loss_p, plan, links_alive, strategy), run_ in zip(
+        levels, runs
+    ):
         bw = run_.per_node_mb_per_s
         if baseline_bw is None:
             baseline_bw = bw

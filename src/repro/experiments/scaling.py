@@ -13,7 +13,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.api import simulate_alltoall
 from repro.experiments.common import (
     ExperimentResult,
     LARGE_MESSAGE_BYTES,
@@ -21,6 +20,7 @@ from repro.experiments.common import (
     resolve_scale,
 )
 from repro.model.torus import TorusShape
+from repro.runner import SimPoint, run_points
 from repro.strategies import ARDirect, TwoPhaseSchedule
 
 EXP_ID = "scaling_study"
@@ -43,7 +43,9 @@ def cpu_network_balance(shape: TorusShape, msg_bytes: int) -> float:
     return cpu / net if net > 0 else float("inf")
 
 
-def run(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
+def run(
+    scale: Optional[str] = None, seed: int = 0, jobs: Optional[int] = None
+) -> ExperimentResult:
     scale = resolve_scale(scale)
     params = default_params()
     m = LARGE_MESSAGE_BYTES[scale]
@@ -58,10 +60,17 @@ def run(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
             "cpu/net balance",
         ],
     )
-    for lbl in _FAMILY[scale]:
-        shape = TorusShape.parse(lbl)
-        ar = simulate_alltoall(ARDirect(), shape, m, params, seed=seed)
-        tps = simulate_alltoall(TwoPhaseSchedule(), shape, m, params, seed=seed)
+    shapes = [(lbl, TorusShape.parse(lbl)) for lbl in _FAMILY[scale]]
+    runs = run_points(
+        [
+            SimPoint(strat, shape, m, params, seed=seed)
+            for _, shape in shapes
+            for strat in (ARDirect(), TwoPhaseSchedule())
+        ],
+        jobs=jobs,
+    )
+    for i, (lbl, shape) in enumerate(shapes):
+        ar, tps = runs[2 * i], runs[2 * i + 1]
         result.rows.append(
             {
                 "partition": lbl,

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.api import simulate_alltoall
 from repro.experiments.common import (
     ExperimentResult,
     LARGE_MESSAGE_BYTES,
@@ -21,13 +20,16 @@ from repro.experiments.common import (
 )
 from repro.experiments.paperdata import TABLE1_AR_SYMMETRIC
 from repro.model.torus import TorusShape
+from repro.runner import SimPoint, run_points
 from repro.strategies import ARDirect
 
 EXP_ID = "tab1_symmetric"
 TITLE = "Table 1: AR % of peak on symmetric partitions (large messages)"
 
 
-def run(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
+def run(
+    scale: Optional[str] = None, seed: int = 0, jobs: Optional[int] = None
+) -> ExperimentResult:
     scale = resolve_scale(scale)
     params = default_params()
     m = LARGE_MESSAGE_BYTES[scale]
@@ -39,10 +41,18 @@ def run(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
     partitions = list(TABLE1_AR_SYMMETRIC)
     if scale == "tiny":
         partitions = ["8", "8x8", "8x8x8"]
-    for lbl in partitions:
-        paper_shape = TorusShape.parse(lbl)
-        shape, tier = shape_for_scale(paper_shape, scale)
-        run_ = simulate_alltoall(ARDirect(), shape, m, params, seed=seed)
+    shapes = [
+        (lbl, *shape_for_scale(TorusShape.parse(lbl), scale))
+        for lbl in partitions
+    ]
+    runs = run_points(
+        [
+            SimPoint(ARDirect(), shape, m, params, seed=seed)
+            for _, shape, _ in shapes
+        ],
+        jobs=jobs,
+    )
+    for (lbl, shape, tier), run_ in zip(shapes, runs):
         result.rows.append(
             {
                 "partition": lbl,

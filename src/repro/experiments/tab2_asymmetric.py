@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.api import simulate_alltoall
 from repro.experiments.common import (
     ExperimentResult,
     LARGE_MESSAGE_BYTES,
@@ -23,6 +22,7 @@ from repro.experiments.common import (
 from repro.experiments.paperdata import TABLE2_AR_ASYMMETRIC
 from repro.model.contention import ar_efficiency_estimate
 from repro.model.torus import TorusShape
+from repro.runner import SimPoint, run_points
 from repro.strategies import ARDirect
 
 EXP_ID = "tab2_asymmetric"
@@ -31,7 +31,9 @@ TITLE = "Table 2: AR % of peak on asymmetric partitions (large messages)"
 _TINY_SUBSET = ["8x2M", "8x16", "8x8x2M", "8x8x16"]
 
 
-def run(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
+def run(
+    scale: Optional[str] = None, seed: int = 0, jobs: Optional[int] = None
+) -> ExperimentResult:
     scale = resolve_scale(scale)
     params = default_params()
     m = LARGE_MESSAGE_BYTES[scale]
@@ -48,10 +50,19 @@ def run(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
         ],
     )
     partitions = _TINY_SUBSET if scale == "tiny" else list(TABLE2_AR_ASYMMETRIC)
-    for lbl in partitions:
+    shapes = [
+        (lbl, *shape_for_scale(TorusShape.parse(lbl), scale))
+        for lbl in partitions
+    ]
+    runs = run_points(
+        [
+            SimPoint(ARDirect(), shape, m, params, seed=seed)
+            for _, shape, _ in shapes
+        ],
+        jobs=jobs,
+    )
+    for (lbl, shape, tier), run_ in zip(shapes, runs):
         paper_shape = TorusShape.parse(lbl)
-        shape, tier = shape_for_scale(paper_shape, scale)
-        run_ = simulate_alltoall(ARDirect(), shape, m, params, seed=seed)
         result.rows.append(
             {
                 "partition": lbl,

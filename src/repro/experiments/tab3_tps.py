@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.api import simulate_alltoall
 from repro.experiments.common import (
     ExperimentResult,
     LARGE_MESSAGE_BYTES,
@@ -22,6 +21,7 @@ from repro.experiments.common import (
 )
 from repro.experiments.paperdata import AXIS_NAMES, TABLE3_TPS
 from repro.model.torus import TorusShape
+from repro.runner import SimPoint, run_points
 from repro.strategies import ARDirect, TwoPhaseSchedule
 from repro.strategies.tps import choose_linear_axis
 
@@ -31,7 +31,9 @@ TITLE = "Table 3: TPS % of peak (long messages) + phase-1 dimension"
 _TINY_SUBSET = ["8x8x8", "16x8x8", "8x8x16"]
 
 
-def run(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
+def run(
+    scale: Optional[str] = None, seed: int = 0, jobs: Optional[int] = None
+) -> ExperimentResult:
     scale = resolve_scale(scale)
     params = default_params()
     m = LARGE_MESSAGE_BYTES[scale]
@@ -50,16 +52,24 @@ def run(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
         ],
     )
     partitions = _TINY_SUBSET if scale == "tiny" else list(TABLE3_TPS)
+    # The linear-dimension *rule* is evaluated on the paper's shape
+    # (scaling preserves ratios, hence the choice), and the scaled run
+    # forces the same axis.
+    entries = []
     for lbl in partitions:
         paper_shape = TorusShape.parse(lbl)
         shape, tier = shape_for_scale(paper_shape, scale)
-        # The linear-dimension *rule* is evaluated on the paper's shape
-        # (scaling preserves ratios, hence the choice), and the scaled run
-        # forces the same axis.
-        axis = choose_linear_axis(paper_shape)
-        tps = TwoPhaseSchedule(linear_axis=axis)
-        run_tps = simulate_alltoall(tps, shape, m, params, seed=seed)
-        run_ar = simulate_alltoall(ARDirect(), shape, m, params, seed=seed)
+        entries.append((lbl, shape, tier, choose_linear_axis(paper_shape)))
+    runs = run_points(
+        [
+            SimPoint(strat, shape, m, params, seed=seed)
+            for _, shape, _, axis in entries
+            for strat in (TwoPhaseSchedule(linear_axis=axis), ARDirect())
+        ],
+        jobs=jobs,
+    )
+    for i, (lbl, shape, tier, axis) in enumerate(entries):
+        run_tps, run_ar = runs[2 * i], runs[2 * i + 1]
         paper_pct, paper_dim = TABLE3_TPS[lbl]
         result.rows.append(
             {

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.api import simulate_alltoall
 from repro.experiments.common import (
     ExperimentResult,
     default_params,
@@ -20,6 +19,7 @@ from repro.experiments.common import (
 )
 from repro.experiments.paperdata import TABLE4_LATENCY_MS
 from repro.model.torus import TorusShape
+from repro.runner import SimPoint, run_points
 from repro.strategies import ARDirect, TwoPhaseSchedule
 
 EXP_ID = "tab4_latency"
@@ -28,7 +28,9 @@ TITLE = "Table 4: 1-byte all-to-all latency (ms), TPS vs AR"
 _TINY_SUBSET = ["8x8x8", "8x8x16"]
 
 
-def run(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
+def run(
+    scale: Optional[str] = None, seed: int = 0, jobs: Optional[int] = None
+) -> ExperimentResult:
     scale = resolve_scale(scale)
     params = default_params()
     result = ExperimentResult(
@@ -45,11 +47,20 @@ def run(scale: Optional[str] = None, seed: int = 0) -> ExperimentResult:
         ],
     )
     partitions = _TINY_SUBSET if scale == "tiny" else list(TABLE4_LATENCY_MS)
-    for lbl in partitions:
-        paper_shape = TorusShape.parse(lbl)
-        shape, tier = shape_for_scale(paper_shape, scale)
-        run_tps = simulate_alltoall(TwoPhaseSchedule(), shape, 1, params, seed=seed)
-        run_ar = simulate_alltoall(ARDirect(), shape, 1, params, seed=seed)
+    shapes = [
+        (lbl, *shape_for_scale(TorusShape.parse(lbl), scale))
+        for lbl in partitions
+    ]
+    runs = run_points(
+        [
+            SimPoint(strat, shape, 1, params, seed=seed)
+            for _, shape, _ in shapes
+            for strat in (TwoPhaseSchedule(), ARDirect())
+        ],
+        jobs=jobs,
+    )
+    for i, (lbl, shape, tier) in enumerate(shapes):
+        run_tps, run_ar = runs[2 * i], runs[2 * i + 1]
         paper_tps, paper_ar = TABLE4_LATENCY_MS[lbl]
         result.rows.append(
             {

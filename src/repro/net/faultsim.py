@@ -72,6 +72,12 @@ class FaultyTorusNetwork(TorusNetwork):
     is then a handful of list lookups.
     """
 
+    __slots__ = (
+        "faults", "routing", "_dist", "_nh_up", "_nh_down", "_order",
+        "_dead_set", "_degrade", "_loss", "_has_loss", "_loss_salt",
+        "_seqno", "_outstanding", "_delivered_seqs",
+    )
+
     def __init__(
         self,
         shape: TorusShape,
@@ -151,6 +157,66 @@ class FaultyTorusNetwork(TorusNetwork):
         if tokens[base + self._bubble] >= 1:
             return self._bubble
         return -1
+
+    def _arbitrate_link(self, u: int, d: int) -> bool:
+        """Generic single-pass port scan through ``_vc_for_link``.
+
+        The base class inlines its pristine-torus routing checks into the
+        scan for speed; the fault-aware network keeps this generic version
+        so the BFS-distance / up*-down* logic above stays the single source
+        of truth for routing decisions."""
+        v = self._nbr[u][d]
+        if v < 0:
+            return False
+        li = u * self._ndirs + d
+        if self._link_busy[li] > self._now or not self._queued[u]:
+            return False
+        nports = self._nports
+        nvc_ports = nports - self._nfifos
+        ports_q = self._ports_q[u]
+        vc_for_link = self._vc_for_link
+        start = self._arb[li]
+        b_port = -1
+        b_pkt = None
+        b_vc = -1
+        for k in range(nports):
+            port = start + k
+            if port >= nports:
+                port -= nports
+            q = ports_q[port]
+            if not q:
+                continue
+            pkt = q[0]
+            in_axis = -1
+            if port < nvc_ports:
+                if pkt.dst == u:
+                    continue  # waiting for reception space
+                in_axis = port // self._nvcs >> 1
+            use_vc = vc_for_link(u, d, v, pkt, in_axis, True)
+            if use_vc >= 0:
+                b_port, b_pkt, b_vc = port, pkt, use_vc
+                break
+            if b_port < 0:
+                use_vc = vc_for_link(u, d, v, pkt, in_axis, False)
+                if use_vc >= 0:
+                    b_port, b_pkt, b_vc = port, pkt, use_vc
+        if b_port < 0:
+            return False
+        port, pkt = b_port, b_pkt
+        ports_q[port].popleft()
+        self._queued[u] -= 1
+        self._arb[li] = port + 1 if port + 1 < nports else 0
+        if port < nvc_ports:
+            in_dir, vc = self._vc_ports[port]
+            self._post(self._now, _EV_TOKEN, u, in_dir, vc)
+            self._launch(u, d, v, pkt, b_vc)
+            self._advance_queue_head(u, in_dir, vc)
+        else:
+            f = port - nvc_ports
+            self._post(self._now, _EV_FIFO_FREE, u, f, None)
+            self._launch(u, d, v, pkt, b_vc)
+            self._advance_fifo_head(u, f)
+        return True
 
     def _try_send_head(self, u: int, pkt: Packet, in_axis: int) -> bool:
         link_busy = self._link_busy
@@ -282,6 +348,7 @@ class FaultyTorusNetwork(TorusNetwork):
                     )
                 fq = self._fifo[u * self._nfifos + fifo]
                 fq.append(pkt)
+                self._queued[u] += 1
                 if len(fq) == 1:
                     self._advance_fifo_head(u, fifo)
         self._cpu_start_next(u)
@@ -345,13 +412,18 @@ class FaultyTorusNetwork(TorusNetwork):
             self._cpu_maybe_start(u)
 
         events = self._events
+        imm = self._immediate
         max_cycles = self.config.max_cycles
         max_events = self.config.max_events
         st = self.stats
         n_events = 0
 
-        while events:
-            t, _, kind, a, b, c = heappop(events)
+        # Heap + immediate-FIFO merge, as in the base loop.
+        while events or imm:
+            if imm and (not events or imm[0] < events[0]):
+                t, _, kind, a, b, c = imm.popleft()
+            else:
+                t, _, kind, a, b, c = heappop(events)
             self._now = t
             n_events += 1
             if kind == _EV_ARRIVE:
@@ -359,10 +431,11 @@ class FaultyTorusNetwork(TorusNetwork):
             elif kind == _EV_TOKEN:
                 self._tokens[(a * self._ndirs + b) * self._nvcs + c] += 1
                 w = self._nbr[a][b]
-                if w >= 0:
+                if w >= 0 and self._queued[w]:
                     self._arbitrate_link(w, b ^ 1)
             elif kind == _EV_LINK_FREE:
-                self._arbitrate_link(a, b)
+                if self._queued[a]:
+                    self._arbitrate_link(a, b)
             elif kind == _EV_CPU_DONE:
                 self._cpu_complete(a)
             elif kind == _EV_FIFO_FREE:

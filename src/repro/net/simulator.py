@@ -33,6 +33,19 @@ Implementation notes: this is the package's hottest code — state lives in
 flat Python lists (far faster than NumPy scalar indexing), events wake
 exactly the component they enable, and the inner routing/arbitration loops
 are written with minimal indirection.  ``tests/net`` pins the semantics.
+Three structural optimizations keep the event rate up without changing a
+single event's order (results are bit-identical to the straightforward
+implementation):
+
+* wrap-aware displacement decisions index precomputed per-axis tables
+  (:mod:`repro.net.displacement`) instead of re-running the mod/halfbits
+  branch cluster on every routing decision;
+* events posted *at the current timestamp* (credit returns, FIFO frees —
+  the bulk of the event stream under load) bypass the heap into a FIFO
+  that is merged with the heap by the global (time, seq) order, so the
+  common case costs O(1) instead of two O(log n) heap operations;
+* instances carry ``__slots__``, per-node port->queue object tables are
+  built once, and arbitration early-outs when a node has nothing queued.
 """
 
 from __future__ import annotations
@@ -40,13 +53,14 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from heapq import heappop, heappush
-from typing import Iterable, Iterator, Optional
+from typing import Iterator, Optional
 
 import numpy as np
 
 from repro.model.machine import MachineParams
 from repro.model.torus import TorusShape
 from repro.net.config import NetworkConfig
+from repro.net.displacement import displacement_tables
 from repro.net.errors import DeadlockError, SimulationLimitError
 from repro.net.packet import NO_VC, Packet, PacketSpec, RoutingMode
 from repro.net.program import NodeProgram
@@ -75,6 +89,22 @@ class TorusNetwork:
     Construct once per run; :meth:`run` executes a node program to
     quiescence and returns a :class:`SimulationResult`.
     """
+
+    __slots__ = (
+        "shape", "params", "config", "topo", "stats",
+        "_p", "_ndim", "_ndirs", "_nvcs", "_ndyn", "_bubble", "_nfifos",
+        "_vc_depth", "_bubble_entry",
+        "_nbr", "_coord", "_colm", "_dims", "_wrap", "_half",
+        "_dtab", "_dirtab",
+        "_link_busy", "_tokens", "_vcq", "_fifo", "_fifo_free", "_recv_free",
+        "_cpu_active", "_cpu_rr", "_cpu_pending", "_recv_pending",
+        "_fwd_pending", "_plan_next", "_plan_iter", "_plan_last_start",
+        "_pace", "_fifo_rr", "_ngroups",
+        "_arb", "_vc_ports", "_nports", "_ports_q", "_queued",
+        "_events", "_immediate", "_seq", "_now", "_pid", "_busy_cycles",
+        "_program", "_num_links",
+        "_beta", "_hop_latency", "_cpu_fixed", "_cpu_incr", "_alpha",
+    )
 
     def __init__(
         self,
@@ -108,6 +138,16 @@ class TorusNetwork:
         self._dims = shape.dims
         self._wrap = tuple(shape.wrap_effective(a) for a in range(self._ndim))
         self._half = tuple(d // 2 for d in shape.dims)
+        # Displacement/direction tables (shared per shape, see
+        # repro.net.displacement) and row-premultiplied coordinates so a
+        # routing decision is two list indexings and an add.
+        dt = displacement_tables(shape)
+        self._dtab = dt.disp
+        self._dirtab = dt.dirs
+        self._colm: list[list[int]] = [
+            [c * shape.dims[a] for c in self._coord[a]]
+            for a in range(self._ndim)
+        ]
 
         # --- network state ------------------------------------------------
         ndirs, nvcs = self._ndirs, self._nvcs
@@ -144,10 +184,25 @@ class TorusNetwork:
             (ind, vc) for ind in range(ndirs) for vc in range(nvcs)
         ]
         self._nports = len(self._vc_ports) + self._nfifos
+        # Per-node port -> queue object table in port order (VC queues then
+        # injection FIFOs): arbitration walks these lists directly instead
+        # of recomputing flat indices per port.
+        nvp = ndirs * nvcs
+        self._ports_q: list[list[deque]] = [
+            self._vcq[u * nvp : (u + 1) * nvp]
+            + self._fifo[u * self._nfifos : (u + 1) * self._nfifos]
+            for u in range(p)
+        ]
+        # Packets sitting in any VC queue or injection FIFO of a node;
+        # arbitration early-outs on zero.
+        self._queued: list[int] = [0] * p
 
         # --- bookkeeping ----------------------------------------------------
         self._events: list[tuple] = []
-        self._seq = itertools.count()
+        # Events posted at the current timestamp bypass the heap into this
+        # FIFO; the main loop merges both by global (time, seq) order.
+        self._immediate: deque[tuple] = deque()
+        self._seq = 0
         self._now = 0.0
         self._pid = itertools.count()
         self._busy_cycles: list[float] = [0.0] * (p * ndirs)
@@ -184,7 +239,11 @@ class TorusNetwork:
     # ------------------------------------------------------------------ #
 
     def _post(self, t: float, kind: int, a: int, b: int, c) -> None:
-        heappush(self._events, (t, next(self._seq), kind, a, b, c))
+        self._seq = s = self._seq + 1
+        if t <= self._now:
+            self._immediate.append((t, s, kind, a, b, c))
+        else:
+            heappush(self._events, (t, s, kind, a, b, c))
 
     def _disp(self, cur: int, dst: int, axis: int, halfbits: int) -> int:
         """Shortest signed displacement cur -> dst on *axis* (wrap-aware).
@@ -193,38 +252,22 @@ class TorusNetwork:
         both directions; the packet's *halfbits* decide which one it uses,
         so the two directions carry equal load in aggregate (a fixed
         tie-break would overload one direction by 25 % and cap all-to-all
-        at 80 % of the Eq. 2 peak)."""
-        col = self._coord[axis]
-        d = col[dst] - col[cur]
-        if self._wrap[axis]:
-            n = self._dims[axis]
-            d %= n
-            half = self._half[axis]
-            if d > half:
-                d -= n
-            elif d == half and not (n & 1) and not (halfbits >> axis) & 1:
-                d -= n
-        return d
+        at 80 % of the Eq. 2 peak).  See :mod:`repro.net.displacement`."""
+        return self._dtab[axis][(halfbits >> axis) & 1][
+            self._colm[axis][cur] + self._coord[axis][dst]
+        ]
 
     def _dor_dir(self, cur: int, dst: int, halfbits: int) -> int:
         """Dimension-order next direction, or -1 at destination."""
         coord = self._coord
-        wrap = self._wrap
-        dims = self._dims
-        half = self._half
+        colm = self._colm
+        dirtab = self._dirtab
         for axis in range(self._ndim):
-            col = coord[axis]
-            d = col[dst] - col[cur]
-            if wrap[axis]:
-                n = dims[axis]
-                d %= n
-                h = half[axis]
-                if d > h:
-                    d -= n
-                elif d == h and not (n & 1) and not (halfbits >> axis) & 1:
-                    d -= n
-            if d:
-                return 2 * axis + (0 if d > 0 else 1)
+            d = dirtab[axis][(halfbits >> axis) & 1][
+                colm[axis][cur] + coord[axis][dst]
+            ]
+            if d >= 0:
+                return d
         return -1
 
     # ------------------------------------------------------------------ #
@@ -246,21 +289,11 @@ class TorusNetwork:
         tokens = self._tokens
         if pkt.mode == _ADAPTIVE:
             if dynamic_pass:
-                col = self._coord[axis]
-                disp = col[pkt.dst] - col[u]
-                if self._wrap[axis]:
-                    n = self._dims[axis]
-                    disp %= n
-                    h = self._half[axis]
-                    if disp > h:
-                        disp -= n
-                    elif (
-                        disp == h
-                        and not (n & 1)
-                        and not (pkt.halfbits >> axis) & 1
-                    ):
-                        disp -= n
-                if disp == 0 or (disp > 0) != ((d & 1) == 0):
+                # Minimal progress on this axis iff d is the tabulated
+                # minimal direction (-1 when the axis is already resolved).
+                if d != self._dirtab[axis][(pkt.halfbits >> axis) & 1][
+                    self._colm[axis][u] + self._coord[axis][pkt.dst]
+                ]:
                     return -1
                 best, best_free = -1, 0
                 for vc in range(self._ndyn):
@@ -298,19 +331,31 @@ class TorusNetwork:
         pkt.hops += 1
         self.stats.total_hops += 1
         service = pkt.wire_bytes * self._beta
-        done = self._now + service
+        now = self._now
+        done = now + service
         li = u * self._ndirs + d
         self._link_busy[li] = done
         self._busy_cycles[li] += service
-        self._post(done, _EV_LINK_FREE, u, d, None)
+        # Two inlined ``_post`` calls (this is the hottest event producer).
+        self._seq = s = self._seq + 1
+        ev = (done, s, _EV_LINK_FREE, u, d, None)
+        if done <= now:
+            self._immediate.append(ev)
+        else:
+            heappush(self._events, ev)
         # Virtual cut-through: the *header* reaches v after the router/wire
         # latency and may immediately compete for its next hop while the
         # body still streams behind it (an unobstructed header races ahead,
         # as on the real torus); the link itself stays busy for the full
         # service time.  On the packet's FINAL hop the payload is only
         # usable once its tail arrives, so delivery waits for the tail.
-        arrive = (done if pkt.dst == v else self._now) + self._hop_latency
-        self._post(arrive, _EV_ARRIVE, v, d ^ 1, pkt)
+        arrive = (done if pkt.dst == v else now) + self._hop_latency
+        self._seq = s = self._seq + 1
+        ev = (arrive, s, _EV_ARRIVE, v, d ^ 1, pkt)
+        if arrive <= now:
+            self._immediate.append(ev)
+        else:
+            heappush(self._events, ev)
 
     def _arbitrate_link(self, u: int, d: int) -> bool:
         """Link (u, d) is free: pick one waiting head packet and launch it.
@@ -319,61 +364,94 @@ class TorusNetwork:
         if v < 0:
             return False
         li = u * self._ndirs + d
-        if self._link_busy[li] > self._now:
+        if self._link_busy[li] > self._now or not self._queued[u]:
             return False
         nports = self._nports
-        nvc_ports = len(self._vc_ports)
-        vcq = self._vcq
-        fifo = self._fifo
-        qbase = u * self._ndirs * self._nvcs
-        fbase = u * self._nfifos
+        nvc_ports = nports - self._nfifos
+        ports_q = self._ports_q[u]
+        # Per-link constants hoisted out of the port scan; the routing
+        # checks of ``_vc_for_link`` are inlined below (this is the
+        # pristine-network fast path — the fault-aware subclass overrides
+        # this method with a generic scan through its own ``_vc_for_link``).
+        axis = d >> 1
+        nvcs = self._nvcs
+        ndyn = self._ndyn
+        bubble = self._bubble
+        tokens = self._tokens
+        base = (v * self._ndirs + (d ^ 1)) * self._nvcs
+        bubble_tok = tokens[base + bubble]
+        dt_axis = self._dirtab[axis]
+        colm_u = self._colm[axis][u]
+        coord_ax = self._coord[axis]
+        dor_dir = self._dor_dir
         start = self._arb[li]
-        for dynamic_pass in (True, False):
-            for k in range(nports):
-                port = start + k
-                if port >= nports:
-                    port -= nports
-                if port < nvc_ports:
-                    in_dir, vc = self._vc_ports[port]
-                    q = vcq[qbase + in_dir * self._nvcs + vc]
-                    if not q:
-                        continue
-                    pkt = q[0]
-                    if pkt.dst == u:
-                        continue  # waiting for reception space
-                    use_vc = self._vc_for_link(
-                        u, d, v, pkt, in_dir >> 1, dynamic_pass
-                    )
-                    if use_vc < 0:
-                        continue
-                    q.popleft()
-                    # Virtual cut-through: the slot frees as the packet
-                    # streams out, so the credit returns at launch.
-                    self._post(self._now, _EV_TOKEN, u, in_dir, vc)
-                    self._launch(u, d, v, pkt, use_vc)
-                    self._arb[li] = port + 1 if port + 1 < nports else 0
-                    # The queue's new head may be deliverable locally or
-                    # able to use a different free link right now; no
-                    # future event is guaranteed to poke it, so advance
-                    # eagerly.
-                    self._advance_queue_head(u, in_dir, vc)
-                    return True
-                f = port - nvc_ports
-                fq = fifo[fbase + f]
-                if not fq:
-                    continue
-                pkt = fq[0]
-                use_vc = self._vc_for_link(u, d, v, pkt, -1, dynamic_pass)
-                if use_vc < 0:
-                    continue
-                fq.popleft()
-                self._post(self._now, _EV_FIFO_FREE, u, f, None)
-                self._launch(u, d, v, pkt, use_vc)
-                self._arb[li] = port + 1 if port + 1 < nports else 0
-                # Eagerly advance the FIFO's new head (see above).
-                self._advance_fifo_head(u, f)
-                return True
-        return False
+        # Single rotation scan: launch the first dynamic-VC candidate; if
+        # none exists, fall back to the first bubble candidate, memoized
+        # during the same scan.  The checks are pure and no state mutates
+        # before a launch, so this selects exactly the packet the original
+        # two-pass (dynamic then bubble) scan would.
+        b_port = -1
+        b_pkt = None
+        b_vc = -1
+        for k in range(nports):
+            port = start + k
+            if port >= nports:
+                port -= nports
+            q = ports_q[port]
+            if not q:
+                continue
+            pkt = q[0]
+            dst = pkt.dst
+            if port < nvc_ports:
+                if dst == u:
+                    continue  # waiting for reception space
+                in_axis = port // nvcs >> 1
+            else:
+                in_axis = -1
+            if pkt.mode == _ADAPTIVE and d == dt_axis[
+                (pkt.halfbits >> axis) & 1
+            ][colm_u + coord_ax[dst]]:
+                # Dynamic candidate: most-credit dynamic VC, if any.
+                best, best_free = -1, 0
+                for vc in range(ndyn):
+                    f = tokens[base + vc]
+                    if f > best_free:
+                        best, best_free = vc, f
+                if best >= 0:
+                    b_port, b_pkt, b_vc = port, pkt, best
+                    break
+            if b_port < 0 and dor_dir(u, dst, pkt.halfbits) == d:
+                # Bubble/escape candidate (both routing modes).
+                need = (
+                    self._bubble_entry
+                    if pkt.vc != bubble or in_axis != axis
+                    else 1
+                )
+                if bubble_tok >= need:
+                    b_port, b_pkt, b_vc = port, pkt, bubble
+        if b_port < 0:
+            return False
+        port, pkt = b_port, b_pkt
+        ports_q[port].popleft()
+        self._queued[u] -= 1
+        self._arb[li] = port + 1 if port + 1 < nports else 0
+        if port < nvc_ports:
+            in_dir, vc = self._vc_ports[port]
+            # Virtual cut-through: the slot frees as the packet streams
+            # out, so the credit returns at launch.
+            self._post(self._now, _EV_TOKEN, u, in_dir, vc)
+            self._launch(u, d, v, pkt, b_vc)
+            # The queue's new head may be deliverable locally or able to
+            # use a different free link right now; no future event is
+            # guaranteed to poke it, so advance eagerly.
+            self._advance_queue_head(u, in_dir, vc)
+        else:
+            f = port - nvc_ports
+            self._post(self._now, _EV_FIFO_FREE, u, f, None)
+            self._launch(u, d, v, pkt, b_vc)
+            # Eagerly advance the FIFO's new head (see above).
+            self._advance_fifo_head(u, f)
+        return True
 
     def _try_send_head(self, u: int, pkt: Packet, in_axis: int) -> bool:
         """Packet-centric attempt: launch *pkt* (a queue/FIFO head at *u*)
@@ -386,26 +464,17 @@ class TorusNetwork:
         dst = pkt.dst
         if pkt.mode == _ADAPTIVE:
             coord = self._coord
-            wrap = self._wrap
-            dims = self._dims
-            halves = self._half
+            colm = self._colm
+            dirtab = self._dirtab
             tokens = self._tokens
             halfbits = pkt.halfbits
             best_d, best_vc, best_free = -1, -1, 0
             for axis in range(self._ndim):
-                col = coord[axis]
-                disp = col[dst] - col[u]
-                if wrap[axis]:
-                    n = dims[axis]
-                    disp %= n
-                    h = halves[axis]
-                    if disp > h:
-                        disp -= n
-                    elif disp == h and not (n & 1) and not (halfbits >> axis) & 1:
-                        disp -= n
-                if disp == 0:
+                d = dirtab[axis][(halfbits >> axis) & 1][
+                    colm[axis][u] + coord[axis][dst]
+                ]
+                if d < 0:
                     continue
-                d = 2 * axis + (0 if disp > 0 else 1)
                 v = nbr_u[d]
                 if v < 0 or link_busy[lbase + d] > now:
                     continue
@@ -455,6 +524,7 @@ class TorusNetwork:
                 if self._recv_free[u] <= 0:
                     return
                 q.popleft()
+                self._queued[u] -= 1
                 self._recv_free[u] -= 1
                 self._recv_pending[u].append(pkt)
                 self._post(self._now, _EV_TOKEN, u, in_dir, vc)
@@ -462,6 +532,7 @@ class TorusNetwork:
                 continue
             if self._try_send_head(u, pkt, in_dir >> 1):
                 q.popleft()
+                self._queued[u] -= 1
                 self._post(self._now, _EV_TOKEN, u, in_dir, vc)
                 continue
             return
@@ -474,6 +545,7 @@ class TorusNetwork:
             if not self._try_send_head(u, pkt, -1):
                 return
             fq.popleft()
+            self._queued[u] -= 1
             self._post(self._now, _EV_FIFO_FREE, u, f, None)
 
     def _deliver_local_heads(self, u: int) -> None:
@@ -612,6 +684,7 @@ class TorusNetwork:
             else:
                 fq = self._fifo[u * self._nfifos + fifo]
                 fq.append(pkt)
+                self._queued[u] += 1
                 if len(fq) == 1:
                     self._advance_fifo_head(u, fifo)
         self._cpu_start_next(u)
@@ -653,31 +726,52 @@ class TorusNetwork:
             self._cpu_maybe_start(u)
 
         events = self._events
+        imm = self._immediate
         max_cycles = self.config.max_cycles
         max_events = self.config.max_events
         st = self.stats
         n_events = 0
+        # Hot-loop locals (the loop runs millions of times per collective).
+        imm_pop = imm.popleft
+        tokens = self._tokens
+        nbr = self._nbr
+        fifo_free = self._fifo_free
+        queued = self._queued
+        ndirs = self._ndirs
+        nvcs = self._nvcs
+        nfifos = self._nfifos
+        on_arrive = self._on_arrive
+        arbitrate = self._arbitrate_link
+        cpu_complete = self._cpu_complete
+        cpu_maybe_start = self._cpu_maybe_start
 
-        while events:
-            t, _, kind, a, b, c = heappop(events)
+        # Merge the heap with the immediate FIFO by global (time, seq)
+        # order: identical event sequence to a pure heap, but same-time
+        # token/FIFO-credit events cost O(1).
+        while events or imm:
+            if imm and (not events or imm[0] < events[0]):
+                t, _, kind, a, b, c = imm_pop()
+            else:
+                t, _, kind, a, b, c = heappop(events)
             self._now = t
             n_events += 1
             if kind == _EV_ARRIVE:
-                self._on_arrive(a, b, c)
+                on_arrive(a, b, c)
             elif kind == _EV_TOKEN:
-                self._tokens[(a * self._ndirs + b) * self._nvcs + c] += 1
-                w = self._nbr[a][b]
-                if w >= 0:
-                    self._arbitrate_link(w, b ^ 1)
+                tokens[(a * ndirs + b) * nvcs + c] += 1
+                w = nbr[a][b]
+                if w >= 0 and queued[w]:
+                    arbitrate(w, b ^ 1)
             elif kind == _EV_LINK_FREE:
-                self._arbitrate_link(a, b)
+                if queued[a]:
+                    arbitrate(a, b)
             elif kind == _EV_CPU_DONE:
-                self._cpu_complete(a)
+                cpu_complete(a)
             elif kind == _EV_FIFO_FREE:
-                self._fifo_free[a * self._nfifos + b] += 1
-                self._cpu_maybe_start(a)
+                fifo_free[a * nfifos + b] += 1
+                cpu_maybe_start(a)
             else:  # _EV_CPU_WAKE
-                self._cpu_maybe_start(a)
+                cpu_maybe_start(a)
             if t > max_cycles:
                 raise self._limit_error(
                     f"simulation exceeded {max_cycles:.3g} cycles", n_events
@@ -708,6 +802,7 @@ class TorusNetwork:
             self._cpu_maybe_start(v)
             return
         q.append(pkt)
+        self._queued[v] += 1
         if len(q) == 1:
             self._advance_queue_head(v, in_dir, pkt.vc)
 

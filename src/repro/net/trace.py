@@ -15,7 +15,7 @@ import numpy as np
 from repro.model.torus import TorusShape
 
 
-@dataclass
+@dataclass(slots=True)
 class SimStats:
     """Mutable in-flight counters (one per simulation run)."""
 

@@ -1,0 +1,42 @@
+"""Parallel sweep runner with a persistent result cache.
+
+Every experiment in the repo is a sweep of independent simulation points;
+this package runs them — optionally fanned out over a process pool
+(``--jobs N`` / ``REPRO_JOBS``) and always through a content-addressed
+on-disk result cache (``REPRO_CACHE_DIR``, disable with ``REPRO_CACHE=0``)
+— while guaranteeing results identical to a sequential uncached run.
+See DESIGN.md section 9.
+"""
+
+from repro.runner.cache import cache_enabled, cache_root
+from repro.runner.codec import (
+    SCHEMA_VERSION,
+    decode_run,
+    encode_run,
+    point_fingerprint,
+    point_key,
+)
+from repro.runner.point import SimPoint
+from repro.runner.pool import (
+    counters,
+    resolve_jobs,
+    run_grid,
+    run_point,
+    run_points,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SimPoint",
+    "cache_enabled",
+    "cache_root",
+    "counters",
+    "decode_run",
+    "encode_run",
+    "point_fingerprint",
+    "point_key",
+    "resolve_jobs",
+    "run_grid",
+    "run_point",
+    "run_points",
+]

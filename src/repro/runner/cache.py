@@ -1,0 +1,89 @@
+"""Content-addressed on-disk cache of simulation results.
+
+Layout: ``<root>/<v{SCHEMA_VERSION}>/<key[:2]>/<key>.json`` where ``key``
+is :func:`repro.runner.codec.point_key` — a SHA-256 over everything that
+determines the outcome.  The simulator is fully deterministic per
+(inputs, seed), so a hit can stand in for a run verbatim; schema bumps
+change every key, which orphans (never corrupts) old entries.
+
+Resolution of the root directory:
+
+* ``REPRO_CACHE_DIR`` if set;
+* otherwise ``$XDG_CACHE_HOME/repro`` or ``~/.cache/repro``.
+
+``REPRO_CACHE=0`` (or ``off``/``false``/``no``) disables the cache
+entirely — nothing is read or written.  Writes are atomic (temp file +
+``os.replace``) so concurrent sweep processes can share one cache; a
+corrupt or truncated entry is treated as a miss and rewritten.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from repro.runner.codec import SCHEMA_VERSION
+
+_DISABLE_VALUES = {"0", "off", "false", "no"}
+
+
+def cache_enabled() -> bool:
+    """Whether the on-disk cache is active (``REPRO_CACHE`` gate)."""
+    return os.environ.get("REPRO_CACHE", "1").lower() not in _DISABLE_VALUES
+
+
+def cache_root() -> Path:
+    """Resolve the cache directory (without creating it)."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+def _entry_path(key: str) -> Path:
+    return cache_root() / f"v{SCHEMA_VERSION}" / key[:2] / f"{key}.json"
+
+
+def cache_get(key: str) -> Optional[dict]:
+    """Load the payload cached under *key*, or ``None`` on a miss.
+
+    An unreadable/corrupt entry counts as a miss: the result will simply
+    be recomputed and the entry rewritten.
+    """
+    if not cache_enabled():
+        return None
+    try:
+        with open(_entry_path(key), "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, ValueError):
+        return None
+
+
+def cache_put(key: str, payload: dict) -> None:
+    """Atomically store *payload* under *key* (no-op when disabled)."""
+    if not cache_enabled():
+        return
+    path = _entry_path(key)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, separators=(",", ":"))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        # A read-only or full cache directory must never fail a sweep.
+        pass

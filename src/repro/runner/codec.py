@@ -1,0 +1,159 @@
+"""Canonical JSON encoding of simulation inputs and outputs.
+
+Two jobs live here:
+
+* **Key material** — :func:`point_fingerprint` turns a :class:`SimPoint`
+  into a canonical, sorted, JSON-safe structure covering *everything* that
+  can change a simulation's outcome (shape, strategy class + options,
+  message size, seed, machine parameters, network config, fault plan, and
+  a schema version).  Its SHA-256 is the cache key.
+* **Result transport** — :func:`encode_run` / :func:`decode_run` round-trip
+  an :class:`~repro.api.AllToAllRun` through plain JSON types.  The same
+  payload serves worker → parent IPC and the on-disk cache, and *every*
+  result the runner returns goes through one encode/decode cycle — so a
+  cache hit, a pool worker result and an in-process run are byte-identical
+  (``json`` float round-trips are exact: ``float(repr(x)) == x``).
+
+Bump :data:`SCHEMA_VERSION` whenever simulator semantics change in a way
+that should invalidate previously cached results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, fields
+from typing import Any
+
+import numpy as np
+
+from repro.api import AllToAllRun
+from repro.model.machine import MachineParams
+from repro.model.torus import TorusShape
+from repro.net.config import NetworkConfig
+from repro.net.faults import FaultPlan
+from repro.net.trace import SimulationResult
+
+from repro.runner.point import SimPoint
+
+#: Version of both the fingerprint layout and the result payload.  Bumping
+#: it orphans every previously cached result (they are keyed by it).
+SCHEMA_VERSION = 1
+
+
+# --------------------------------------------------------------------- #
+# fingerprinting (cache keys)
+# --------------------------------------------------------------------- #
+
+
+def _strategy_fingerprint(strategy: Any) -> dict:
+    cls = type(strategy)
+    return {
+        "class": f"{cls.__module__}.{cls.__qualname__}",
+        "options": {k: v for k, v in sorted(vars(strategy).items())},
+    }
+
+
+def _faults_fingerprint(faults: FaultPlan | None) -> dict | None:
+    if faults is None:
+        return None
+    return {
+        "dead_links": sorted(list(link) for link in faults.dead_links),
+        "dead_nodes": sorted(faults.dead_nodes),
+        "degraded_links": sorted(
+            [list(link), mult] for link, mult in faults.degraded_links.items()
+        ),
+        "outages": [
+            [o.node, o.direction, o.start, o.end] for o in faults.outages
+        ],
+        "loss_prob": faults.loss_prob,
+        "link_loss": sorted(
+            [list(link), p] for link, p in faults.link_loss.items()
+        ),
+        "seed": faults.seed,
+        "retx_timeout_cycles": faults.retx_timeout_cycles,
+        "retx_backoff": faults.retx_backoff,
+        "max_retx": faults.max_retx,
+    }
+
+
+def point_fingerprint(point: SimPoint) -> dict:
+    """Canonical JSON-safe structure identifying *point*'s outcome."""
+    params = point.params or MachineParams.bluegene_l()
+    config = point.config
+    return {
+        "schema": SCHEMA_VERSION,
+        "shape": {
+            "dims": list(point.shape.dims),
+            "torus": list(point.shape.torus),
+        },
+        "strategy": _strategy_fingerprint(point.strategy),
+        "msg_bytes": point.msg_bytes,
+        "seed": point.seed,
+        "params": asdict(params),
+        "config": None if config is None else asdict(config),
+        "faults": _faults_fingerprint(point.faults),
+    }
+
+
+def point_key(point: SimPoint) -> str:
+    """Stable content hash of *point* (the cache key)."""
+    blob = json.dumps(
+        point_fingerprint(point), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# --------------------------------------------------------------------- #
+# result payloads
+# --------------------------------------------------------------------- #
+
+
+def encode_run(run: AllToAllRun) -> dict:
+    """Encode *run* as a plain-JSON-types dict (the cache/IPC payload)."""
+    r = run.result
+    result = {
+        f.name: getattr(r, f.name)
+        for f in fields(SimulationResult)
+        if f.name != "link_busy_cycles"
+    }
+    result["link_busy_cycles"] = r.link_busy_cycles.tolist()
+    return {
+        "schema": SCHEMA_VERSION,
+        "strategy": run.strategy,
+        "shape": {
+            "dims": list(run.shape.dims),
+            "torus": list(run.shape.torus),
+        },
+        "msg_bytes": run.msg_bytes,
+        "params": asdict(run.params),
+        "predicted_cycles": run.predicted_cycles,
+        "result": result,
+    }
+
+
+def decode_run(payload: dict) -> AllToAllRun:
+    """Rebuild the :class:`AllToAllRun` encoded by :func:`encode_run`."""
+    result = dict(payload["result"])
+    result["link_busy_cycles"] = np.asarray(
+        result["link_busy_cycles"], dtype=np.float64
+    )
+    return AllToAllRun(
+        strategy=payload["strategy"],
+        shape=TorusShape(
+            payload["shape"]["dims"], payload["shape"]["torus"]
+        ),
+        msg_bytes=payload["msg_bytes"],
+        params=MachineParams(**payload["params"]),
+        result=SimulationResult(**result),
+        predicted_cycles=payload["predicted_cycles"],
+    )
+
+
+def roundtrip_run(run: AllToAllRun) -> AllToAllRun:
+    """One encode/decode cycle through JSON text.
+
+    Applied to every freshly simulated result so fresh and cached runs are
+    bit-identical (numpy array dtype, int/float identity, dict contents).
+    """
+    return decode_run(json.loads(json.dumps(encode_run(run))))

@@ -1,0 +1,38 @@
+"""One independent simulation point of a sweep.
+
+Every table and figure in the paper is a collection of *independent*
+(shape, strategy, message size, seed) simulations.  :class:`SimPoint`
+captures one of them as plain data so the runner can hash it (result
+cache), pickle it (worker processes) and execute it anywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.model.machine import MachineParams
+from repro.model.torus import TorusShape
+from repro.net.config import NetworkConfig
+from repro.net.faults import FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.strategies.base import AllToAllStrategy
+
+
+@dataclass(frozen=True)
+class SimPoint:
+    """One ``simulate_alltoall`` invocation, as data.
+
+    The strategy is carried as the configured *instance* (strategies are
+    plain picklable objects whose ``vars()`` are their options); everything
+    else mirrors the :func:`repro.api.simulate_alltoall` signature.
+    """
+
+    strategy: "AllToAllStrategy"
+    shape: TorusShape
+    msg_bytes: int
+    params: Optional[MachineParams] = None
+    config: Optional[NetworkConfig] = None
+    seed: int = 0
+    faults: Optional[FaultPlan] = None

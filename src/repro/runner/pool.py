@@ -1,0 +1,140 @@
+"""Parallel, cached execution of independent simulation points.
+
+:func:`run_points` is the one entry point every experiment driver uses.
+Guarantees:
+
+* **Deterministic order** — results come back in input order, always.
+* **Bit-identical parallelism** — each point is an independent simulation
+  with its own seed; ``jobs=4`` returns exactly what ``jobs=1`` returns.
+* **Bit-identical caching** — every result (fresh, pooled or cached) goes
+  through one canonical JSON encode/decode cycle, so where a result came
+  from is unobservable downstream.
+
+Job-count resolution: explicit ``jobs`` argument, else the ``REPRO_JOBS``
+environment variable, else 1 (sequential, in-process).  ``jobs=0`` or a
+negative value means "all cores".
+
+The module-level :data:`counters` record how many points were actually
+simulated vs. served from cache — tests assert on them, and the CLI
+reports them.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.api import AllToAllRun, simulate_alltoall
+from repro.runner.cache import cache_get, cache_put
+from repro.runner.codec import decode_run, encode_run, point_key
+from repro.runner.point import SimPoint
+
+
+@dataclass
+class RunnerCounters:
+    """Observability: what :func:`run_points` actually did."""
+
+    simulated: int = 0
+    cache_hits: int = 0
+
+    def reset(self) -> None:
+        self.simulated = 0
+        self.cache_hits = 0
+
+
+#: Process-wide counters (reset with ``counters.reset()``).
+counters = RunnerCounters()
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Final worker count: argument > ``REPRO_JOBS`` env > 1."""
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_JOBS must be an integer, got {env!r}"
+                ) from None
+        else:
+            jobs = 1
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return jobs
+
+
+def _simulate_encoded(point: SimPoint) -> dict:
+    """Worker body: run one point and return the canonical payload.
+
+    Returning the *encoded* form does double duty — it is what crosses the
+    process boundary and what lands in the cache, so both paths are the
+    same bytes by construction.
+    """
+    run = simulate_alltoall(
+        point.strategy,
+        point.shape,
+        point.msg_bytes,
+        params=point.params,
+        config=point.config,
+        seed=point.seed,
+        faults=point.faults,
+    )
+    return encode_run(run)
+
+
+def run_point(point: SimPoint) -> AllToAllRun:
+    """Run (or fetch) a single point through the cache."""
+    return run_points([point])[0]
+
+
+def run_points(
+    points: Sequence[SimPoint], jobs: Optional[int] = None
+) -> list[AllToAllRun]:
+    """Execute *points*, in parallel when ``jobs > 1``, through the cache.
+
+    Returns one :class:`AllToAllRun` per point, in input order.
+    """
+    points = list(points)
+    keys = [point_key(p) for p in points]
+    payloads: list[Optional[dict]] = [cache_get(k) for k in keys]
+    misses = [i for i, p in enumerate(payloads) if p is None]
+    counters.cache_hits += len(points) - len(misses)
+
+    jobs = resolve_jobs(jobs)
+    if misses:
+        todo = [points[i] for i in misses]
+        if jobs > 1 and len(todo) > 1:
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(todo))
+            ) as pool:
+                fresh = list(pool.map(_simulate_encoded, todo))
+        else:
+            fresh = [_simulate_encoded(p) for p in todo]
+        counters.simulated += len(todo)
+        for i, payload in zip(misses, fresh):
+            cache_put(keys[i], payload)
+            payloads[i] = payload
+    return [decode_run(p) for p in payloads]
+
+
+def run_grid(
+    strategies: Iterable,
+    shape,
+    msg_sizes: Iterable[int],
+    params=None,
+    config=None,
+    seed: int = 0,
+    faults=None,
+    jobs: Optional[int] = None,
+) -> list[AllToAllRun]:
+    """Convenience: the (strategy × message size) product on one shape,
+    row-major in the order given."""
+    pts = [
+        SimPoint(s, shape, m, params, config, seed, faults)
+        for s in strategies
+        for m in msg_sizes
+    ]
+    return run_points(pts, jobs=jobs)

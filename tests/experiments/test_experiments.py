@@ -48,6 +48,20 @@ class TestScaling:
         shape, _ = scale_shape(TorusShape.parse("40x32x16"), 64)
         assert min(shape.dims) >= 2
 
+    def test_scale_shape_warns_when_bottomed_out(self):
+        # 2x2x2 = 8 nodes can't be reduced below all-2 dims, so a
+        # budget of 4 is unreachable: the caller must be told.
+        with pytest.warns(UserWarning, match="bottomed out.*max_nodes=4"):
+            shape, _ = scale_shape(TorusShape.parse("2x2x2"), 4)
+        assert shape.dims == (2, 2, 2)
+
+    def test_scale_shape_no_warning_when_it_fits(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            scale_shape(TorusShape.parse("32x32x16"), 512)
+
     def test_shape_for_scale_tiers(self):
         s, tier = shape_for_scale(TorusShape.parse("4x4"), "tiny")
         assert tier == "A" and s.dims == (4, 4)
@@ -79,6 +93,13 @@ class TestResultType:
         assert r.row_by("a", 1)["b"] == 2
         assert r.column("b") == [2]
         with pytest.raises(KeyError):
+            r.row_by("a", 9)
+
+    def test_row_by_error_lists_available_keys(self):
+        r = ExperimentResult(
+            "x", "t", ["a", "b"], rows=[{"a": 1, "b": 2}, {"a": 3, "b": 4}]
+        )
+        with pytest.raises(KeyError, match=r"no row with a=9.*\[1, 3\]"):
             r.row_by("a", 9)
 
     def test_render_contains_id(self):

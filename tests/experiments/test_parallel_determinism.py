@@ -1,0 +1,45 @@
+"""Every experiment driver is deterministic under the parallel runner.
+
+Satellite of the fast-path PR: at tiny scale each driver must produce
+identical rows with ``jobs=1`` and ``jobs=4``, and a second (warm-cache)
+run must execute zero simulations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.registry import ALL, run_experiment
+from repro.runner import counters
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    counters.reset()
+
+
+@pytest.mark.parametrize("exp_id", sorted(ALL))
+def test_driver_rows_identical_across_job_counts(exp_id: str) -> None:
+    seq = run_experiment(exp_id, scale="tiny", jobs=1)
+    par = run_experiment(exp_id, scale="tiny", jobs=4)
+    assert par.columns == seq.columns
+    assert par.rows == seq.rows
+    assert par.render() == seq.render()
+
+
+@pytest.mark.parametrize("exp_id", sorted(ALL))
+def test_second_run_is_served_entirely_from_cache(exp_id: str) -> None:
+    cold = run_experiment(exp_id, scale="tiny", jobs=1)
+    first_simulated = counters.simulated
+    counters.reset()
+    warm = run_experiment(exp_id, scale="tiny", jobs=4)
+    assert counters.simulated == 0, (
+        f"{exp_id}: warm rerun executed {counters.simulated} simulations"
+    )
+    # fig5 is a pure closed-form model: zero points either way is fine.
+    if first_simulated:
+        assert counters.cache_hits == first_simulated
+    assert warm.rows == cold.rows

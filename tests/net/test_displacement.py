@@ -1,0 +1,118 @@
+"""Displacement tables vs the original inline wrap/mod/halfbits logic.
+
+The tables in :mod:`repro.net.displacement` replaced a branch cluster that
+was written out four times in the simulator; these tests pin the exact
+old-vs-new equivalence on odd, even and mesh dimensions, plus the halfbit
+tie-break semantics the Section 3 load balance depends on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.torus import TorusShape
+from repro.net.displacement import (
+    DisplacementTables,
+    displacement_tables,
+    reference_displacement,
+)
+
+
+def _inline_disp(n: int, wrap: bool, cc: int, cd: int, halfbit: int) -> int:
+    """The simulator's original inline branch cluster, verbatim."""
+    d = cd - cc
+    if wrap:
+        d %= n
+        half = n // 2
+        if d > half:
+            d -= n
+        elif d == half and not (n & 1) and not halfbit:
+            d -= n
+    return d
+
+
+@pytest.mark.parametrize("n", [2, 3, 4, 5, 7, 8, 16])
+@pytest.mark.parametrize("wrap", [True, False])
+def test_reference_matches_inline_cluster(n: int, wrap: bool) -> None:
+    for cc in range(n):
+        for cd in range(n):
+            for hb in (0, 1):
+                assert reference_displacement(n, wrap, cd - cc, hb) == (
+                    _inline_disp(n, wrap, cc, cd, hb)
+                )
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        "5x4",          # odd torus x even torus
+        "4x4x4",        # even symmetric torus
+        "8x4x2",        # mixed extents (2 is degenerate-wrap)
+        "3x3x3",        # odd symmetric torus
+        "4x6M",         # torus x mesh
+        "7M",           # odd mesh line
+    ],
+)
+def test_tables_match_reference_everywhere(spec: str) -> None:
+    shape = TorusShape.parse(spec)
+    tabs = DisplacementTables(shape)
+    for axis in range(shape.ndim):
+        n = shape.dims[axis]
+        wrap = shape.wrap_effective(axis)
+        for cc in range(n):
+            for cd in range(n):
+                for hb in (0, 1):
+                    want = reference_displacement(n, wrap, cd - cc, hb)
+                    got = tabs.disp[axis][hb][cc * n + cd]
+                    assert got == want, (spec, axis, cc, cd, hb)
+                    want_dir = (
+                        -1 if want == 0 else 2 * axis + (0 if want > 0 else 1)
+                    )
+                    assert tabs.dirs[axis][hb][cc * n + cd] == want_dir
+                    assert tabs.displacement(axis, cc, cd, hb << axis) == want
+                    assert tabs.direction(axis, cc, cd, hb << axis) == want_dir
+
+
+def test_halfbit_breaks_even_torus_ties_both_ways() -> None:
+    """Exact-half displacement on an even torus axis goes + with the bit
+    set and - with it clear; everything else ignores the bit."""
+    shape = TorusShape.parse("8")
+    tabs = DisplacementTables(shape)
+    n = 8
+    for cc in range(n):
+        cd = (cc + n // 2) % n
+        assert tabs.disp[0][1][cc * n + cd] == n // 2
+        assert tabs.disp[0][0][cc * n + cd] == -(n // 2)
+        for off in range(1, n // 2):
+            cd2 = (cc + off) % n
+            assert tabs.disp[0][0][cc * n + cd2] == tabs.disp[0][1][cc * n + cd2]
+
+
+@pytest.mark.parametrize("spec", ["5x4", "3x3x3", "4x6M"])
+def test_halfbit_variants_shared_when_irrelevant(spec: str) -> None:
+    """Odd/mesh/tiny axes share one table object per axis (object reuse)."""
+    shape = TorusShape.parse(spec)
+    tabs = DisplacementTables(shape)
+    for axis in range(shape.ndim):
+        n = shape.dims[axis]
+        can_tie = shape.wrap_effective(axis) and n % 2 == 0 and n > 2
+        if can_tie:
+            assert tabs.disp[axis][0] is not tabs.disp[axis][1]
+        else:
+            assert tabs.disp[axis][0] is tabs.disp[axis][1]
+            assert tabs.dirs[axis][0] is tabs.dirs[axis][1]
+
+
+def test_tables_memoized_per_shape() -> None:
+    a = displacement_tables(TorusShape.parse("4x4x4"))
+    b = displacement_tables(TorusShape.parse("4x4x4"))
+    assert a is b
+    assert displacement_tables(TorusShape.parse("4x4x2")) is not a
+
+
+def test_mesh_axis_is_plain_difference() -> None:
+    shape = TorusShape.parse("6M")
+    tabs = DisplacementTables(shape)
+    for cc in range(6):
+        for cd in range(6):
+            assert tabs.disp[0][0][cc * 6 + cd] == cd - cc

@@ -40,8 +40,31 @@ sys.path.insert(0, str(REPO / "src"))
 
 from repro.api import simulate_alltoall  # noqa: E402
 from repro.model.torus import TorusShape  # noqa: E402
+from repro.net.faultsim import build_network  # noqa: E402
+from repro.net.simulator import TorusNetwork  # noqa: E402
 from repro.runner import SimPoint, run_points  # noqa: E402
 from repro.strategies import ARDirect  # noqa: E402
+
+
+def assert_observability_disabled() -> None:
+    """The benchmark must exercise the un-instrumented hot path.
+
+    Both guards would trip if someone made instrumentation the default:
+    the default-constructed network must be the plain class (not an
+    ``InstrumentedTorusNetwork``), and its type must carry none of the
+    observability attributes.
+    """
+    net = build_network(TorusShape.parse("2x2x2"))
+    if type(net) is not TorusNetwork:
+        raise SystemExit(
+            f"bench precondition failed: build_network() returned "
+            f"{type(net).__name__}, expected plain TorusNetwork"
+        )
+    for attr in ("tracer", "metrics"):
+        if hasattr(net, attr):
+            raise SystemExit(
+                f"bench precondition failed: plain network has {attr!r}"
+            )
 
 #: Single-point benchmark per scale: (shape, msg_bytes, seed, repeats).
 POINTS = {
@@ -157,6 +180,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = ap.parse_args(argv)
 
+    assert_observability_disabled()
     report = {
         "schema": 1,
         "scale": args.scale,

@@ -19,6 +19,7 @@ from repro.net.trace import SimulationResult
 from repro.util.units import cycles_to_ms, cycles_to_us
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.config import ObsConfig
     from repro.strategies.base import AllToAllStrategy
 
 
@@ -81,6 +82,7 @@ def simulate_alltoall(
     config: Optional[NetworkConfig] = None,
     seed: int = 0,
     faults: Optional[FaultPlan] = None,
+    obs: Optional["ObsConfig"] = None,
 ) -> AllToAllRun:
     """Simulate one all-to-all of *msg_bytes* per rank pair under
     *strategy* on *shape* and return the measured run.
@@ -88,12 +90,17 @@ def simulate_alltoall(
     ``faults`` injects hardware faults: the strategy plans around dead
     nodes and the network routes around dead links, retransmits over lossy
     wires, and honors degraded links and outages.  ``None`` (or an empty
-    plan) takes the pristine fast path."""
+    plan) takes the pristine fast path.
+
+    ``obs`` opts into observability: an enabled
+    :class:`~repro.obs.config.ObsConfig` runs the instrumented network
+    and attaches the trace/metrics payload as ``result.extras["obs"]``
+    without changing any measured quantity."""
     params = params or MachineParams.bluegene_l()
     program = strategy.build_program(
         shape, msg_bytes, params, seed, faults=faults
     )
-    net = build_network(shape, params, config, faults)
+    net = build_network(shape, params, config, faults, obs)
     if strategy.fifo_groups > 1:
         net.set_fifo_groups(strategy.fifo_groups)
     result = net.run(program)

@@ -5,17 +5,29 @@ Run paper experiments and ablations from the shell::
     bgl-alltoall list
     bgl-alltoall run tab3_tps --scale small
     bgl-alltoall run all --scale tiny --jobs 4
+    bgl-alltoall run fig1_ar_midplane --scale tiny \\
+        --trace trace.json --metrics metrics.json
 
 ``--jobs N`` fans independent simulation points over N worker processes
 (default: the ``REPRO_JOBS`` env var, else 1); the rendered tables are
 byte-identical for any job count.  Results are cached on disk under
 ``REPRO_CACHE_DIR`` (default ``~/.cache/repro``); ``--no-cache`` or
 ``REPRO_CACHE=0`` disables the cache.
+
+Observability (DESIGN.md section 10): ``--trace PATH`` records packet
+lifecycle events for every simulated point — a ``.json`` path gets a
+Chrome trace-event file you can drop into https://ui.perfetto.dev, any
+other extension gets JSONL.  ``--metrics PATH`` writes the per-point
+metrics (per-axis link-utilization time series, latency histograms,
+queue/FIFO gauges) plus a cross-point aggregate as JSON.  Observed runs
+bypass the result cache so they always simulate.  ``--cache-stats``
+prints runner cache counters; ``-v``/``-q`` control log verbosity.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -23,10 +35,70 @@ import time
 from repro.experiments.registry import ALL, EXPERIMENTS, run_experiment
 
 
+def _write_obs_outputs(collected, trace_path, metrics_path) -> None:
+    """Write trace/metrics files from the collected per-point payloads."""
+    from repro.obs.metrics import aggregate_metrics
+    from repro.obs.tracer import write_chrome_trace, write_jsonl
+
+    if trace_path:
+        traces = [c for c in collected if "trace" in c]
+        if trace_path.endswith(".json"):
+            write_chrome_trace(
+                [c["trace"] for c in traces],
+                trace_path,
+                labels=[c["point"] for c in traces],
+            )
+        else:
+            with open(trace_path, "w", encoding="utf-8") as fh:
+                for c in traces:
+                    write_jsonl(c["trace"], fh, point=c["point"])
+        print(f"trace: {len(traces)} point(s) -> {trace_path}")
+    if metrics_path:
+        per_point = [c for c in collected if "metrics" in c]
+        doc = {
+            "points": [
+                {"point": c["point"], "metrics": c["metrics"]}
+                for c in per_point
+            ],
+            "aggregate": aggregate_metrics(
+                [c["metrics"] for c in per_point]
+            ),
+        }
+        with open(metrics_path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+        print(f"metrics: {len(per_point)} point(s) -> {metrics_path}")
+
+
+def _print_cache_stats() -> None:
+    from repro.runner.pool import counters
+
+    print(
+        "cache: "
+        f"{counters.cache_hits} hit(s), "
+        f"{counters.cache_misses} miss(es), "
+        f"{counters.cache_stores} store(s), "
+        f"{counters.cache_corrupt} corrupt; "
+        f"{counters.simulated} point(s) simulated"
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="bgl-alltoall",
         description="Reproduce the BG/L all-to-all paper's tables/figures.",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="increase log verbosity (-v info, -vv debug)",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="errors only",
     )
     sub = parser.add_subparsers(dest="cmd", required=True)
     sub.add_parser("list", help="list experiment ids")
@@ -46,7 +118,42 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="disable the on-disk result cache for this invocation",
     )
+    runp.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record packet lifecycle events; .json = Chrome trace "
+        "(Perfetto-loadable), anything else = JSONL",
+    )
+    runp.add_argument(
+        "--trace-sample",
+        type=int,
+        default=1,
+        metavar="N",
+        help="trace every Nth packet (deterministic, by packet id)",
+    )
+    runp.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write per-point + aggregate metrics JSON "
+        "(per-axis utilization time series, latency histograms, gauges)",
+    )
+    runp.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="print cache hit/miss/store/corrupt counters after the run",
+    )
+    runp.add_argument(
+        "--provenance",
+        action="store_true",
+        help="print each experiment's provenance record",
+    )
     args = parser.parse_args(argv)
+
+    from repro.obs.logconf import setup_logging
+
+    setup_logging(-1 if args.quiet else args.verbose)
 
     if args.cmd == "list":
         for eid in ALL:
@@ -58,13 +165,38 @@ def main(argv: list[str] | None = None) -> int:
         os.environ["REPRO_CACHE"] = "0"
 
     ids = list(ALL) if args.exp_id == "all" else [args.exp_id]
-    for eid in ids:
-        t0 = time.time()
-        result = run_experiment(
-            eid, scale=args.scale, seed=args.seed, jobs=args.jobs
+
+    obs_on = bool(args.trace or args.metrics)
+    if obs_on:
+        from repro.obs.config import ObsConfig
+        from repro.obs.context import observe
+
+        cfg = ObsConfig(
+            trace=bool(args.trace),
+            trace_sample=args.trace_sample,
+            metrics=bool(args.metrics),
         )
-        print(result.render())
-        print(f"  ({time.time() - t0:.1f}s)\n")
+        ctx = observe(cfg)
+    else:
+        import contextlib
+
+        ctx = contextlib.nullcontext([])
+
+    with ctx as collected:
+        for eid in ids:
+            t0 = time.time()
+            result = run_experiment(
+                eid, scale=args.scale, seed=args.seed, jobs=args.jobs
+            )
+            print(result.render())
+            print(f"  ({time.time() - t0:.1f}s)\n")
+            if args.provenance and result.provenance is not None:
+                print(json.dumps(result.provenance, indent=2, sort_keys=True))
+                print()
+        if obs_on:
+            _write_obs_outputs(collected, args.trace, args.metrics)
+    if args.cache_stats:
+        _print_cache_stats()
     return 0
 
 

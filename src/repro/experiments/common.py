@@ -90,6 +90,10 @@ class ExperimentResult:
     columns: list[str]
     rows: list[dict] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    #: Run provenance (:func:`repro.obs.provenance.provenance_record`),
+    #: attached by :func:`repro.experiments.registry.run_experiment`.
+    #: ``None`` when a driver is called directly.
+    provenance: Optional[dict] = None
 
     def render(self) -> str:
         """ASCII rendering (what the benchmarks and the CLI print)."""

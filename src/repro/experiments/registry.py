@@ -8,6 +8,8 @@ pool (see :mod:`repro.runner`); results are identical for any job count.
 
 from __future__ import annotations
 
+import logging
+import time
 from typing import Callable, Optional
 
 from repro.experiments import (
@@ -74,5 +76,46 @@ def run_experiment(
     seed: int = 0,
     jobs: Optional[int] = None,
 ) -> ExperimentResult:
-    """Run one experiment by id."""
-    return get_driver(exp_id)(scale=scale, seed=seed, jobs=jobs)
+    """Run one experiment by id, attaching a provenance record.
+
+    The record (see :mod:`repro.obs.provenance`) covers exactly the
+    simulation points this call executed: runner counters are snapshotted
+    before and after the driver, and the delta — point keys, points
+    simulated vs. cached, simulated cycles/events — plus wall time, seed
+    and git state goes into ``result.provenance``.
+    """
+    from repro.experiments.common import resolve_scale
+    from repro.obs.provenance import provenance_record
+    from repro.runner.codec import SCHEMA_VERSION
+    from repro.runner.pool import counters
+
+    log = logging.getLogger("repro.experiments")
+    driver = get_driver(exp_id)
+    before = counters.snapshot()
+    log.info("running %s (scale=%s, seed=%d)", exp_id, scale, seed)
+    t0 = time.perf_counter()
+    result = driver(scale=scale, seed=seed, jobs=jobs)
+    wall = time.perf_counter() - t0
+    after = counters.snapshot()
+    new_keys = after["point_keys"][len(before["point_keys"]):]
+    simulated = after["simulated"] - before["simulated"]
+    result.provenance = provenance_record(
+        schema_version=SCHEMA_VERSION,
+        seed=seed,
+        scale=resolve_scale(scale),
+        point_keys=new_keys,
+        wall_s=wall,
+        simulated_cycles=after["sim_cycles"] - before["sim_cycles"],
+        simulated_events=after["sim_events"] - before["sim_events"],
+        points_simulated=simulated,
+        points_cached=len(new_keys) - simulated,
+    )
+    log.info(
+        "%s done in %.2fs: %d point(s), %d simulated, %d from cache",
+        exp_id,
+        wall,
+        len(new_keys),
+        simulated,
+        len(new_keys) - simulated,
+    )
+    return result

@@ -32,7 +32,10 @@ from __future__ import annotations
 import itertools
 from dataclasses import replace
 from heapq import heappop
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.obs.config import ObsConfig
 
 from repro.model.machine import MachineParams
 from repro.model.torus import TorusShape
@@ -474,13 +477,29 @@ def build_network(
     params: Optional[MachineParams] = None,
     config: Optional[NetworkConfig] = None,
     faults: Optional[FaultPlan] = None,
+    obs: Optional["ObsConfig"] = None,
 ) -> TorusNetwork:
-    """Instantiate the right network for *faults*.
+    """Instantiate the right network for *faults* and *obs*.
 
     The zero-fault path (no plan, or an empty plan) returns the plain
     :class:`TorusNetwork` — identical code, identical results, no fault
-    branches in the hot loop.
+    branches in the hot loop.  Likewise observability: only an
+    :class:`~repro.obs.config.ObsConfig` with tracing or metrics enabled
+    selects the instrumented subclasses; otherwise the un-instrumented
+    classes run exactly as before.
     """
-    if faults is None or faults.is_empty:
+    no_faults = faults is None or faults.is_empty
+    if obs is not None and obs.enabled:
+        from repro.net.instrumented import (
+            InstrumentedFaultyTorusNetwork,
+            InstrumentedTorusNetwork,
+        )
+
+        if no_faults:
+            return InstrumentedTorusNetwork(shape, params, config, obs)
+        return InstrumentedFaultyTorusNetwork(
+            shape, params, config, faults, obs
+        )
+    if no_faults:
         return TorusNetwork(shape, params, config)
     return FaultyTorusNetwork(shape, params, config, faults)

@@ -1,0 +1,258 @@
+"""Observability-instrumented variants of the torus network.
+
+The zero-overhead-when-disabled contract (DESIGN.md section 10) is held
+structurally, the same way the fault layer holds it: the plain
+:class:`~repro.net.simulator.TorusNetwork` and
+:class:`~repro.net.faultsim.FaultyTorusNetwork` contain **no** tracing
+code, no registry lookups and no ``if enabled`` branches — an
+un-instrumented run executes byte-for-byte the code it executed before
+this module existed.  When an :class:`~repro.obs.config.ObsConfig` asks
+for tracing or metrics, :func:`repro.net.faultsim.build_network` returns
+one of the subclasses below instead.
+
+Every override here calls ``super()`` *first* and then only reads state
+(queue lengths, stats deltas, the packet object), so an instrumented run
+makes exactly the decisions — and produces exactly the ``time_cycles``
+and event counts — of an un-instrumented one.  ``tests/obs`` pins this
+bit-identity.
+
+What gets recorded (see :mod:`repro.obs.tracer` for the event schema):
+
+* ``inject`` at CPU injection completion, ``link`` occupancy intervals
+  per hop, ``queue`` depth samples when a packet waits behind others,
+  ``deliver`` with latency and phase (the strategy's traffic-class tag:
+  ``tps1``/``tps2``/``vmesh1``/... — the TPS phase-overlap view), and on
+  fault runs ``drop``/``retx``/``reroute``;
+* metrics: per-axis link-busy time series (exported as utilization
+  fractions), final-delivery latency histogram, injection-FIFO depth,
+  forward backlog and VC queue depth gauges, and counters for drops,
+  retransmissions and reroutes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.model.machine import MachineParams
+from repro.model.torus import TorusShape
+from repro.net.config import NetworkConfig
+from repro.net.faults import FaultPlan
+from repro.net.faultsim import FaultyTorusNetwork
+from repro.net.packet import Packet
+from repro.net.simulator import TorusNetwork
+from repro.net.trace import SimulationResult
+from repro.obs.config import ObsConfig
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+from repro.strategies.data import tag_kind
+
+_AXIS_NAMES = ("x", "y", "z")
+
+#: Slots shared by both concrete instrumented classes.
+_OBS_SLOTS = ("obs", "tracer", "metrics", "_axis_ts", "_lat_hist")
+
+
+class _InstrumentedMixin:
+    """Observation hooks layered over a network class via ``super()``."""
+
+    __slots__ = ()
+
+    # -------------------------------------------------------------- #
+    # setup / teardown
+    # -------------------------------------------------------------- #
+
+    def _init_obs(self, obs: ObsConfig) -> None:
+        self.obs = obs
+        self.tracer = (
+            Tracer(
+                capacity=obs.trace_capacity,
+                sample=obs.trace_sample,
+                kinds=obs.trace_kinds,
+            )
+            if obs.trace
+            else None
+        )
+        if obs.metrics:
+            self.metrics = MetricsRegistry(
+                default_bucket_cycles=obs.metrics_bucket_cycles,
+                max_buckets=obs.metrics_max_buckets,
+            )
+            self._axis_ts = [
+                self.metrics.timeseries(f"link_busy_cycles.{_AXIS_NAMES[a]}")
+                for a in range(self._ndim)
+            ]
+            self._lat_hist = self.metrics.histogram("final_latency_cycles")
+        else:
+            self.metrics = None
+            self._axis_ts = None
+            self._lat_hist = None
+
+    # -------------------------------------------------------------- #
+    # lifecycle hooks (super() first, then read-only observation)
+    # -------------------------------------------------------------- #
+
+    def _launch(self, u: int, d: int, v: int, pkt: Packet, vc: int) -> None:
+        st = self.stats
+        lost0 = st.lost_packets
+        rerouted0 = st.rerouted_hops
+        now = self._now
+        super()._launch(u, d, v, pkt, vc)
+        dur = self._link_busy[u * self._ndirs + d] - now
+        ts = self._axis_ts
+        if ts is not None:
+            ts[d >> 1].add(now, dur)
+            if st.lost_packets > lost0:
+                self.metrics.counter("lost_packets").inc()
+            if st.rerouted_hops > rerouted0:
+                self.metrics.counter("rerouted_hops").inc()
+        tr = self.tracer
+        if tr is not None and tr.want(pkt.pid):
+            kinds = tr.kinds
+            if "link" in kinds:
+                tr.emit(now, "link", u, d, dur, pkt.pid)
+            if "reroute" in kinds and st.rerouted_hops > rerouted0:
+                tr.emit(now, "reroute", u, d, pkt.pid)
+            if "drop" in kinds and st.lost_packets > lost0:
+                tr.emit(now, "drop", u, d, pkt.pid)
+
+    def _on_arrive(self, v: int, in_dir: int, pkt: Packet) -> None:
+        q = self._vcq[(v * self._ndirs + in_dir) * self._nvcs + pkt.vc]
+        before = len(q)
+        super()._on_arrive(v, in_dir, pkt)
+        depth = len(q)
+        if depth > before and depth >= 2:
+            # The packet joined a non-empty VC buffer: it is waiting
+            # behind others for the next link (queue-wait pressure).
+            if self.metrics is not None:
+                self.metrics.gauge("vc_queue_depth").set(depth)
+            tr = self.tracer
+            if tr is not None and "queue" in tr.kinds and tr.want(pkt.pid):
+                tr.emit(self._now, "queue", v, in_dir, depth, pkt.pid)
+
+    def _cpu_complete(self, u: int) -> None:
+        st = self.stats
+        injected0 = st.injected_packets
+        super()._cpu_complete(u)
+        if st.injected_packets == injected0:
+            return
+        # Exactly one packet was injected, and injections are the only
+        # consumer of the pid counter, so its id is injected_packets - 1.
+        pid = st.injected_packets - 1
+        if self.metrics is not None:
+            base = u * self._nfifos
+            cap = self.config.injection_fifo_depth
+            used = sum(
+                cap - self._fifo_free[base + f] for f in range(self._nfifos)
+            )
+            self.metrics.gauge("inj_fifo_depth").set(used)
+        tr = self.tracer
+        if tr is not None and "inject" in tr.kinds and tr.want(pid):
+            tr.emit(self._now, "inject", u, pid)
+
+    def _finish_delivery(self, u: int, pkt: Packet) -> None:
+        st = self.stats
+        delivered0 = st.delivered_packets
+        super()._finish_delivery(u, pkt)
+        if st.delivered_packets == delivered0:
+            return  # receiver-side duplicate discard (fault runs)
+        final = pkt.final_dst == u
+        if self.metrics is not None:
+            if final:
+                self._lat_hist.observe(self._now - pkt.inject_time)
+            backlog = len(self._fwd_pending[u])
+            if backlog:
+                self.metrics.gauge("forward_backlog").set(backlog)
+        tr = self.tracer
+        if tr is not None and "deliver" in tr.kinds and tr.want(pkt.pid):
+            tr.emit(
+                self._now,
+                "deliver",
+                u,
+                pkt.pid,
+                pkt.src,
+                pkt.inject_time,
+                tag_kind(pkt),
+                final,
+            )
+
+    def _on_retx(self, attempt: int, seq: int) -> None:
+        ent = self._outstanding.get(seq)
+        st = self.stats
+        retx0 = st.retransmitted_packets
+        super()._on_retx(attempt, seq)
+        if st.retransmitted_packets == retx0:
+            return
+        src = ent[0] if ent is not None else -1
+        if self.metrics is not None:
+            self.metrics.counter("retransmitted_packets").inc()
+        tr = self.tracer
+        if tr is not None and "retx" in tr.kinds:
+            tr.emit(self._now, "retx", src, seq, attempt)
+
+    # -------------------------------------------------------------- #
+    # result assembly
+    # -------------------------------------------------------------- #
+
+    def _result(self) -> SimulationResult:
+        res = super()._result()
+        payload: dict = {}
+        if self.metrics is not None:
+            snap = self.metrics.to_dict()
+            # Derive per-axis utilization-over-time from the raw busy
+            # series: fraction of the axis's aggregate link capacity
+            # each bucket consumed.
+            for a in range(self._ndim):
+                name = f"link_busy_cycles.{_AXIS_NAMES[a]}"
+                raw = snap.get(name)
+                if raw is None:
+                    continue
+                nlinks = self.shape.links_in_dim(a)
+                bc = raw["bucket_cycles"]
+                denom = bc * nlinks if nlinks else 0.0
+                snap[f"link_utilization.{_AXIS_NAMES[a]}"] = {
+                    "type": "utilization_timeseries",
+                    "bucket_cycles": bc,
+                    "links": nlinks,
+                    "utilization": [
+                        (b / denom) if denom else 0.0 for b in raw["buckets"]
+                    ],
+                }
+            payload["metrics"] = snap
+        if self.tracer is not None:
+            payload["trace"] = self.tracer.to_payload()
+        if payload:
+            res.extras["obs"] = payload
+        return res
+
+
+class InstrumentedTorusNetwork(_InstrumentedMixin, TorusNetwork):
+    """Pristine torus network with tracing/metrics layered on."""
+
+    __slots__ = _OBS_SLOTS
+
+    def __init__(
+        self,
+        shape: TorusShape,
+        params: Optional[MachineParams] = None,
+        config: Optional[NetworkConfig] = None,
+        obs: Optional[ObsConfig] = None,
+    ) -> None:
+        super().__init__(shape, params, config)
+        self._init_obs(obs if obs is not None else ObsConfig())
+
+
+class InstrumentedFaultyTorusNetwork(_InstrumentedMixin, FaultyTorusNetwork):
+    """Fault-degraded torus network with tracing/metrics layered on."""
+
+    __slots__ = _OBS_SLOTS
+
+    def __init__(
+        self,
+        shape: TorusShape,
+        params: Optional[MachineParams] = None,
+        config: Optional[NetworkConfig] = None,
+        faults: Optional[FaultPlan] = None,
+        obs: Optional[ObsConfig] = None,
+    ) -> None:
+        super().__init__(shape, params, config, faults)
+        self._init_obs(obs if obs is not None else ObsConfig())

@@ -1,0 +1,66 @@
+"""End-to-end observability: tracing, metrics and run provenance.
+
+Three layers, all opt-in and all zero-cost when off (the plain simulator
+classes carry no instrumentation and no branches):
+
+* **Event tracer** (:mod:`repro.obs.tracer`) — packet lifecycle events
+  and link-occupancy intervals in a bounded, sampled ring buffer,
+  exportable as JSONL or a Perfetto-loadable Chrome trace.
+* **Metrics registry** (:mod:`repro.obs.metrics`) — counters, gauges,
+  latency histograms and per-axis link-utilization time series.
+* **Provenance** (:mod:`repro.obs.provenance`) — schema/seed/git/config
+  fingerprint plus wall-vs-simulated time, attached to every experiment
+  result.
+
+Activation: pass an :class:`ObsConfig` to
+:func:`repro.api.simulate_alltoall` / :func:`repro.runner.run_points`,
+or wrap a whole sweep in :func:`observe` (what the CLI's ``--trace`` /
+``--metrics`` flags do).  See DESIGN.md section 10.
+"""
+
+from repro.obs.config import ObsConfig
+from repro.obs.context import active_config, collect, collected, observe
+from repro.obs.logconf import setup_logging
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TimeSeries,
+    aggregate_metrics,
+)
+from repro.obs.provenance import (
+    config_fingerprint,
+    git_describe,
+    provenance_record,
+)
+from repro.obs.tracer import (
+    EVENT_KINDS,
+    Tracer,
+    chrome_events,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+__all__ = [
+    "ObsConfig",
+    "active_config",
+    "collect",
+    "collected",
+    "observe",
+    "setup_logging",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TimeSeries",
+    "aggregate_metrics",
+    "config_fingerprint",
+    "git_describe",
+    "provenance_record",
+    "EVENT_KINDS",
+    "Tracer",
+    "chrome_events",
+    "write_chrome_trace",
+    "write_jsonl",
+]

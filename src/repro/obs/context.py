@@ -1,0 +1,65 @@
+"""Process-wide observability context and per-sweep collection.
+
+The experiment drivers funnel every simulation through
+:func:`repro.runner.run_points`, but their signatures don't carry an
+observability argument (and shouldn't — tracing a table reproduction is a
+diagnosis mode, not an input that changes its result).  The CLI instead
+*activates* an :class:`~repro.obs.config.ObsConfig` here; ``run_points``
+consults it when its own ``obs`` argument is ``None``, and deposits each
+executed point's observability payload (trace + metrics, already
+JSON-native from the canonical codec) into the active collector in input
+order — so a ``jobs=4`` sweep collects exactly what a ``jobs=1`` sweep
+does.
+
+Use as a context manager::
+
+    with observe(ObsConfig(trace=True)) as collected:
+        run_experiment("fig1_ar_midplane", scale="tiny")
+    write_chrome_trace([c["trace"] for c in collected], "trace.json")
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Optional
+
+from repro.obs.config import ObsConfig
+
+#: Active config (None = observability off) and its collector list.
+_active: Optional[ObsConfig] = None
+_collected: Optional[list] = None
+
+
+def active_config() -> Optional[ObsConfig]:
+    """The process-wide config, or None when observability is off."""
+    return _active
+
+
+def collect(point_label: str, payload: dict) -> None:
+    """Deposit one executed point's observability payload (runner hook)."""
+    if _collected is not None:
+        _collected.append(dict(payload, point=point_label))
+
+
+def collected() -> list:
+    """Payloads collected so far under the active context."""
+    return list(_collected) if _collected is not None else []
+
+
+@contextlib.contextmanager
+def observe(cfg: ObsConfig) -> Iterator[list]:
+    """Activate *cfg* for the dynamic extent of the block.
+
+    Yields the live collector list: one entry per executed simulation
+    point, in sweep input order, each carrying ``point`` (label),
+    ``metrics`` and/or ``trace`` keys.  Nesting is not supported (the
+    inner context wins, restoring the outer one on exit).
+    """
+    global _active, _collected
+    prev = (_active, _collected)
+    _active = cfg
+    _collected = []
+    try:
+        yield _collected
+    finally:
+        _active, _collected = prev

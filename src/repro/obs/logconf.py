@@ -1,0 +1,45 @@
+"""Structured logging setup shared by the CLI and ad-hoc scripts.
+
+The package logs under the ``repro`` logger hierarchy
+(``repro.runner.pool`` for sweep execution, ``repro.runner.cache`` for
+cache anomalies, ``repro.experiments`` for driver progress).  Library
+code only ever *emits*; this module is the single place that attaches a
+handler, so importing repro never configures global logging behind an
+application's back.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+#: Verbosity -> level for the ``repro`` logger tree.
+_LEVELS = {-1: logging.ERROR, 0: logging.WARNING, 1: logging.INFO}
+
+
+def setup_logging(verbosity: int = 0, stream=None) -> logging.Logger:
+    """Attach one stderr handler to the ``repro`` logger.
+
+    ``verbosity``: -1 (``--quiet``) errors only, 0 warnings (default),
+    1 (``-v``) info/progress, >=2 (``-vv``) debug.  Idempotent: calling
+    again reconfigures the existing handler instead of stacking new ones.
+    """
+    logger = logging.getLogger("repro")
+    level = _LEVELS.get(min(verbosity, 1), logging.DEBUG)
+    if verbosity >= 2:
+        level = logging.DEBUG
+    logger.setLevel(level)
+    fmt = logging.Formatter(
+        "%(asctime)s %(levelname)-7s %(name)s: %(message)s",
+        datefmt="%H:%M:%S",
+    )
+    stream = stream if stream is not None else sys.stderr
+    for h in list(logger.handlers):
+        if getattr(h, "_repro_cli", False):
+            logger.removeHandler(h)
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(fmt)
+    handler._repro_cli = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger

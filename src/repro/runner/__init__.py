@@ -11,6 +11,7 @@ See DESIGN.md section 9.
 from repro.runner.cache import cache_enabled, cache_root
 from repro.runner.codec import (
     SCHEMA_VERSION,
+    canonical_extras,
     decode_run,
     encode_run,
     point_fingerprint,
@@ -18,7 +19,9 @@ from repro.runner.codec import (
 )
 from repro.runner.point import SimPoint
 from repro.runner.pool import (
+    RunnerCounters,
     counters,
+    point_label,
     resolve_jobs,
     run_grid,
     run_point,
@@ -27,14 +30,17 @@ from repro.runner.pool import (
 
 __all__ = [
     "SCHEMA_VERSION",
+    "RunnerCounters",
     "SimPoint",
     "cache_enabled",
     "cache_root",
+    "canonical_extras",
     "counters",
     "decode_run",
     "encode_run",
     "point_fingerprint",
     "point_key",
+    "point_label",
     "resolve_jobs",
     "run_grid",
     "run_point",

@@ -20,6 +20,7 @@ corrupt or truncated entry is treated as a miss and rewritten.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import tempfile
 from pathlib import Path
@@ -28,6 +29,23 @@ from typing import Optional
 from repro.runner.codec import SCHEMA_VERSION
 
 _DISABLE_VALUES = {"0", "off", "false", "no"}
+
+_log = logging.getLogger("repro.runner.cache")
+
+#: Corrupt entries seen since the last :func:`pop_corrupt_count` call.
+_corrupt_count = 0
+
+
+def pop_corrupt_count() -> int:
+    """Return and reset the number of corrupt entries seen recently.
+
+    The runner drains this after each cache scan to fold the count into
+    its :class:`~repro.runner.pool.RunnerCounters`.
+    """
+    global _corrupt_count
+    n = _corrupt_count
+    _corrupt_count = 0
+    return n
 
 
 def cache_enabled() -> bool:
@@ -52,22 +70,38 @@ def _entry_path(key: str) -> Path:
 def cache_get(key: str) -> Optional[dict]:
     """Load the payload cached under *key*, or ``None`` on a miss.
 
-    An unreadable/corrupt entry counts as a miss: the result will simply
-    be recomputed and the entry rewritten.
+    A *corrupt* entry (the file exists but is not valid JSON, e.g. a
+    truncated write from a killed process) also counts as a miss — the
+    result is recomputed and the entry rewritten — but unlike a plain
+    miss it logs a warning naming the offending file and is counted
+    separately, so silent cache rot is visible in ``--cache-stats``.
+    """
+    global _corrupt_count
+    if not cache_enabled():
+        return None
+    path = _entry_path(key)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except ValueError as exc:
+        _corrupt_count += 1
+        _log.warning(
+            "corrupt cache entry %s (%s); treating as a miss", path, exc
+        )
+        return None
+    except OSError:
+        return None
+
+
+def cache_put(key: str, payload: dict) -> bool:
+    """Atomically store *payload* under *key* (no-op when disabled).
+
+    Returns True when the entry actually landed on disk, so the runner
+    can count stores honestly (a read-only or full cache directory must
+    never fail a sweep, but it shouldn't be reported as a store either).
     """
     if not cache_enabled():
-        return None
-    try:
-        with open(_entry_path(key), "r", encoding="utf-8") as fh:
-            return json.load(fh)
-    except (OSError, ValueError):
-        return None
-
-
-def cache_put(key: str, payload: dict) -> None:
-    """Atomically store *payload* under *key* (no-op when disabled)."""
-    if not cache_enabled():
-        return
+        return False
     path = _entry_path(key)
     try:
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -85,5 +119,5 @@ def cache_put(key: str, payload: dict) -> None:
                 pass
             raise
     except OSError:
-        # A read-only or full cache directory must never fail a sweep.
-        pass
+        return False
+    return True

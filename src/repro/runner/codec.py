@@ -109,6 +109,51 @@ def point_key(point: SimPoint) -> str:
 # --------------------------------------------------------------------- #
 
 
+def canonical_extras(value: Any, path: str = "extras") -> Any:
+    """Return *value* as canonical JSON-native types, or fail loudly.
+
+    ``SimulationResult.extras`` is an open dict that strategies and the
+    observability layer populate; before it crosses the cache/IPC
+    boundary every value must become a plain JSON type so fresh, pooled
+    and cached results stay bit-identical.  Numpy scalars become native
+    ``int``/``float``/``bool``, arrays and tuples become lists, and dict
+    keys must be strings.  Anything else raises ``TypeError`` naming the
+    offending path instead of letting ``json.dumps`` produce an opaque
+    error (or, worse, ``allow_nan`` artifacts) deep inside a worker.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            raise ValueError(f"{path}: non-finite float {value!r}")
+        # np.float64 subclasses float; coerce so the payload is native.
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return canonical_extras(float(value), path)
+    if isinstance(value, np.ndarray):
+        return canonical_extras(value.tolist(), path)
+    if isinstance(value, (list, tuple)):
+        return [
+            canonical_extras(v, f"{path}[{i}]") for i, v in enumerate(value)
+        ]
+    if isinstance(value, dict):
+        out = {}
+        for k, v in value.items():
+            if not isinstance(k, str):
+                raise TypeError(
+                    f"{path}: non-string key {k!r} ({type(k).__name__})"
+                )
+            out[k] = canonical_extras(v, f"{path}.{k}")
+        return out
+    raise TypeError(
+        f"{path}: {type(value).__name__} is not JSON-encodable"
+    )
+
+
 def encode_run(run: AllToAllRun) -> dict:
     """Encode *run* as a plain-JSON-types dict (the cache/IPC payload)."""
     r = run.result
@@ -118,6 +163,7 @@ def encode_run(run: AllToAllRun) -> dict:
         if f.name != "link_busy_cycles"
     }
     result["link_busy_cycles"] = r.link_busy_cycles.tolist()
+    result["extras"] = canonical_extras(r.extras)
     return {
         "schema": SCHEMA_VERSION,
         "strategy": run.strategy,

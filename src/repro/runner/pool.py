@@ -14,22 +14,38 @@ Job-count resolution: explicit ``jobs`` argument, else the ``REPRO_JOBS``
 environment variable, else 1 (sequential, in-process).  ``jobs=0`` or a
 negative value means "all cores".
 
+Observability: when an :class:`~repro.obs.config.ObsConfig` is passed (or
+one is active via :func:`repro.obs.context.observe`, which is how the CLI
+flags work), every point runs on the instrumented network and its
+trace/metrics payload — already JSON-native from the canonical codec — is
+deposited into the active collector in input order.  Observed runs bypass
+the cache entirely, in both directions: an instrumented result never
+pollutes the cache (its extras would break cached-vs-fresh identity for
+normal runs) and never gets served from it (a cached entry has no trace).
+
 The module-level :data:`counters` record how many points were actually
-simulated vs. served from cache — tests assert on them, and the CLI
-reports them.
+simulated vs. served from cache (plus misses, stores, corrupt entries,
+simulated cycles/events and the executed point keys for provenance) —
+tests assert on them, and the CLI reports them.
 """
 
 from __future__ import annotations
 
+import logging
 import os
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from itertools import repeat
 from typing import Iterable, Optional, Sequence
 
 from repro.api import AllToAllRun, simulate_alltoall
-from repro.runner.cache import cache_get, cache_put
+from repro.obs.config import ObsConfig
+from repro.obs.context import active_config, collect
+from repro.runner.cache import cache_get, cache_put, pop_corrupt_count
 from repro.runner.codec import decode_run, encode_run, point_key
 from repro.runner.point import SimPoint
+
+_log = logging.getLogger("repro.runner.pool")
 
 
 @dataclass
@@ -38,10 +54,38 @@ class RunnerCounters:
 
     simulated: int = 0
     cache_hits: int = 0
+    cache_misses: int = 0
+    cache_stores: int = 0
+    cache_corrupt: int = 0
+    #: Simulated-time and event totals over freshly executed points.
+    sim_cycles: float = 0.0
+    sim_events: int = 0
+    #: Cache keys of every point executed (hit or fresh), in order —
+    #: the provenance config fingerprint hashes these.
+    point_keys: list = field(default_factory=list)
 
     def reset(self) -> None:
         self.simulated = 0
         self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_stores = 0
+        self.cache_corrupt = 0
+        self.sim_cycles = 0.0
+        self.sim_events = 0
+        self.point_keys = []
+
+    def snapshot(self) -> dict:
+        """Plain-dict copy (for deltas around an experiment run)."""
+        return {
+            "simulated": self.simulated,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_stores": self.cache_stores,
+            "cache_corrupt": self.cache_corrupt,
+            "sim_cycles": self.sim_cycles,
+            "sim_events": self.sim_events,
+            "point_keys": list(self.point_keys),
+        }
 
 
 #: Process-wide counters (reset with ``counters.reset()``).
@@ -66,12 +110,26 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return jobs
 
 
-def _simulate_encoded(point: SimPoint) -> dict:
+def point_label(point: SimPoint) -> str:
+    """Human-readable identity of a point (trace/log annotations)."""
+    dims = "x".join(str(d) for d in point.shape.dims)
+    name = getattr(point.strategy, "name", type(point.strategy).__name__)
+    label = f"{name}@{dims}/{point.msg_bytes}B/seed{point.seed}"
+    if point.faults is not None and not point.faults.is_empty:
+        label += "/faulty"
+    return label
+
+
+def _simulate_encoded(
+    point: SimPoint, obs: Optional[ObsConfig] = None
+) -> dict:
     """Worker body: run one point and return the canonical payload.
 
     Returning the *encoded* form does double duty — it is what crosses the
     process boundary and what lands in the cache, so both paths are the
-    same bytes by construction.
+    same bytes by construction.  With *obs* enabled the payload also
+    carries ``result.extras["obs"]`` (trace + metrics), which the parent
+    harvests into the active collector.
     """
     run = simulate_alltoall(
         point.strategy,
@@ -81,6 +139,7 @@ def _simulate_encoded(point: SimPoint) -> dict:
         config=point.config,
         seed=point.seed,
         faults=point.faults,
+        obs=obs,
     )
     return encode_run(run)
 
@@ -91,32 +150,75 @@ def run_point(point: SimPoint) -> AllToAllRun:
 
 
 def run_points(
-    points: Sequence[SimPoint], jobs: Optional[int] = None
+    points: Sequence[SimPoint],
+    jobs: Optional[int] = None,
+    obs: Optional[ObsConfig] = None,
 ) -> list[AllToAllRun]:
     """Execute *points*, in parallel when ``jobs > 1``, through the cache.
 
-    Returns one :class:`AllToAllRun` per point, in input order.
+    Returns one :class:`AllToAllRun` per point, in input order.  *obs*
+    defaults to the process-wide config activated by
+    :func:`repro.obs.context.observe`; an enabled config runs every point
+    instrumented and bypasses the cache (see module docstring).
     """
     points = list(points)
+    if obs is None:
+        obs = active_config()
+    observed = obs is not None and obs.enabled
+
     keys = [point_key(p) for p in points]
-    payloads: list[Optional[dict]] = [cache_get(k) for k in keys]
-    misses = [i for i, p in enumerate(payloads) if p is None]
-    counters.cache_hits += len(points) - len(misses)
+    counters.point_keys.extend(keys)
+    if observed:
+        payloads: list[Optional[dict]] = [None] * len(points)
+        misses = list(range(len(points)))
+    else:
+        payloads = [cache_get(k) for k in keys]
+        misses = [i for i, p in enumerate(payloads) if p is None]
+        counters.cache_hits += len(points) - len(misses)
+        counters.cache_misses += len(misses)
+        counters.cache_corrupt += pop_corrupt_count()
 
     jobs = resolve_jobs(jobs)
+    _log.info(
+        "sweep: %d point(s), %d to simulate, jobs=%d%s",
+        len(points),
+        len(misses),
+        jobs,
+        " [observed, cache bypassed]" if observed else "",
+    )
     if misses:
         todo = [points[i] for i in misses]
         if jobs > 1 and len(todo) > 1:
             with ProcessPoolExecutor(
                 max_workers=min(jobs, len(todo))
             ) as pool:
-                fresh = list(pool.map(_simulate_encoded, todo))
+                fresh = list(
+                    pool.map(_simulate_encoded, todo, repeat(obs))
+                )
         else:
-            fresh = [_simulate_encoded(p) for p in todo]
+            fresh = [_simulate_encoded(p, obs) for p in todo]
         counters.simulated += len(todo)
         for i, payload in zip(misses, fresh):
-            cache_put(keys[i], payload)
+            result = payload["result"]
+            counters.sim_cycles += result["time_cycles"]
+            counters.sim_events += result["events_processed"]
+            _log.debug(
+                "simulated %s: %.0f cycles, %d events",
+                point_label(points[i]),
+                result["time_cycles"],
+                result["events_processed"],
+            )
+            if not observed:
+                if cache_put(keys[i], payload):
+                    counters.cache_stores += 1
             payloads[i] = payload
+    if observed:
+        # Harvest per-point observability payloads in input order, so a
+        # jobs=4 sweep collects exactly what a jobs=1 sweep does.
+        for point, payload in zip(points, payloads):
+            obs_payload = payload["result"]["extras"].get("obs")
+            if obs_payload is not None:
+                collect(point_label(point), obs_payload)
     return [decode_run(p) for p in payloads]
 
 
@@ -129,6 +231,7 @@ def run_grid(
     seed: int = 0,
     faults=None,
     jobs: Optional[int] = None,
+    obs: Optional[ObsConfig] = None,
 ) -> list[AllToAllRun]:
     """Convenience: the (strategy × message size) product on one shape,
     row-major in the order given."""
@@ -137,4 +240,4 @@ def run_grid(
         for s in strategies
         for m in msg_sizes
     ]
-    return run_points(pts, jobs=jobs)
+    return run_points(pts, jobs=jobs, obs=obs)

@@ -7,7 +7,14 @@ Plus the auto-selector (:func:`select_strategy`).
 """
 
 from repro.strategies.base import AllToAllStrategy
-from repro.strategies.data import ChunkTag, DataChunk, chunks_of, tag_kind
+from repro.strategies.data import (
+    PHASE_NAMES,
+    ChunkTag,
+    DataChunk,
+    chunks_of,
+    phase_name,
+    tag_kind,
+)
 from repro.strategies.direct import (
     ARDirect,
     DirectProgram,
@@ -30,7 +37,9 @@ __all__ = [
     "AllToAllStrategy",
     "ChunkTag",
     "DataChunk",
+    "PHASE_NAMES",
     "chunks_of",
+    "phase_name",
     "tag_kind",
     "ARDirect",
     "DirectProgram",

@@ -64,6 +64,46 @@ def tag_kind(packet: Packet) -> Optional[str]:
     return tag if isinstance(tag, str) else None
 
 
+# --------------------------------------------------------------------- #
+# phase markers
+# --------------------------------------------------------------------- #
+#
+# Each strategy stamps its packets with one of these traffic-class
+# markers.  They double as *phase markers* for observability: the tracer
+# carries the marker on every deliver event, so a Perfetto view of a TPS
+# run shows phase-1 spreading overlapped with phase-2 delivery (the
+# paper's Section 4 pipelining) without any extra instrumentation.
+# Strategy modules import the constants rather than repeating literals —
+# the strings themselves are load-bearing (forwarding hooks dispatch on
+# them) and must not drift.
+
+PHASE_DIRECT = "direct"
+PHASE_TPS1 = "tps1"
+PHASE_TPS2 = "tps2"
+PHASE_VMESH1 = "vmesh1"
+PHASE_VMESH2 = "vmesh2"
+PHASE_CREDIT = "credit"
+PHASE_M2M = "m2m"
+
+#: Marker -> human-readable phase description (trace/metrics legends).
+PHASE_NAMES = {
+    PHASE_DIRECT: "direct single-phase send",
+    PHASE_TPS1: "TPS phase 1: spread along the linear dimension",
+    PHASE_TPS2: "TPS phase 2: deliver within the hyperplane",
+    PHASE_VMESH1: "virtual mesh phase 1: combine along rows",
+    PHASE_VMESH2: "virtual mesh phase 2: distribute along columns",
+    PHASE_CREDIT: "memory-credit control traffic",
+    PHASE_M2M: "many-to-many subcommunicator traffic",
+}
+
+
+def phase_name(kind: Optional[str]) -> str:
+    """Human-readable description of a traffic-class marker."""
+    if kind is None:
+        return "untagged"
+    return PHASE_NAMES.get(kind, kind)
+
+
 def total_chunk_bytes(chunks: Iterable[DataChunk]) -> int:
     """Sum of chunk sizes."""
     return sum(c.nbytes for c in chunks)

@@ -28,7 +28,7 @@ from repro.model.torus import TorusShape
 from repro.net.faults import FaultPlan
 from repro.net.packet import PacketSpec, RoutingMode
 from repro.strategies.base import AllToAllStrategy, DirectProgramBase
-from repro.strategies.data import ChunkTag, DataChunk
+from repro.strategies.data import PHASE_DIRECT, ChunkTag, DataChunk
 from repro.util.validation import require
 
 
@@ -67,11 +67,11 @@ class DirectProgram(DirectProgramBase):
         payload = self.payload_split[pkt_idx]
         if self.carry_data and payload > 0:
             tag: object = ChunkTag(
-                "direct",
+                PHASE_DIRECT,
                 (DataChunk(src, dst, int(self._payload_offsets[pkt_idx]), payload),),
             )
         else:
-            tag = "direct"
+            tag = PHASE_DIRECT
         return PacketSpec(
             dst=dst,
             wire_bytes=self.packet_sizes[pkt_idx],

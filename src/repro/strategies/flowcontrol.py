@@ -28,7 +28,7 @@ from repro.model.machine import MachineParams
 from repro.model.torus import TorusShape
 from repro.net.faults import FaultPlan
 from repro.net.packet import Packet, PacketSpec, RoutingMode
-from repro.strategies.data import ChunkTag
+from repro.strategies.data import PHASE_CREDIT, ChunkTag
 from repro.strategies.tps import PHASE1_GROUP, PHASE2_GROUP, TPSProgram, TwoPhaseSchedule
 from repro.util.validation import check_positive_int, require
 
@@ -106,7 +106,7 @@ class CreditedTPSProgram(TPSProgram):
     ) -> Iterable[PacketSpec]:
         tag = packet.tag
         kind = tag.kind if isinstance(tag, ChunkTag) else tag
-        if kind == "credit":
+        if kind == PHASE_CREDIT:
             # A credit from intermediate `packet.src`: release the next
             # deferred packets toward it; any unused allowance banks as
             # balance for packets the (lazy) plan has not deferred yet.
@@ -138,7 +138,7 @@ class CreditedTPSProgram(TPSProgram):
                     mode=RoutingMode.ADAPTIVE,
                     fifo_group=PHASE2_GROUP,
                     new_message=False,
-                    tag="credit",
+                    tag=PHASE_CREDIT,
                     final_dst=packet.src,
                     payload_bytes=0,
                 )

@@ -31,6 +31,7 @@ from repro.net.faults import FaultPlan
 from repro.net.packet import Packet, PacketSpec, RoutingMode
 from repro.net.program import BaseProgram
 from repro.strategies.base import AllToAllStrategy
+from repro.strategies.data import PHASE_M2M
 from repro.strategies.tps import PHASE1_GROUP, PHASE2_GROUP, choose_linear_axis
 from repro.util.rng import derive_rng
 from repro.util.validation import require
@@ -156,7 +157,7 @@ class _M2MDirectProgram(BaseProgram):
                     wire_bytes=wire,
                     mode=self.mode,
                     new_message=(i == 0),
-                    tag="m2m",
+                    tag=PHASE_M2M,
                     final_dst=dst,
                 )
 

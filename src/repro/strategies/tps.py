@@ -27,7 +27,13 @@ from repro.model.torus import TorusShape
 from repro.net.faults import FaultPlan
 from repro.net.packet import Packet, PacketSpec, RoutingMode
 from repro.strategies.base import AllToAllStrategy, DirectProgramBase
-from repro.strategies.data import ChunkTag, DataChunk, chunks_of
+from repro.strategies.data import (
+    PHASE_TPS1,
+    PHASE_TPS2,
+    ChunkTag,
+    DataChunk,
+    chunks_of,
+)
 from repro.util.rng import derive_seed
 from repro.util.validation import require
 
@@ -142,7 +148,7 @@ class TPSProgram(DirectProgramBase):
         group = PHASE2_GROUP if phase2_direct else PHASE1_GROUP
         if not self.pipelined:
             group = PHASE1_GROUP
-        kind = "tps2" if phase2_direct else "tps1"
+        kind = PHASE_TPS2 if phase2_direct else PHASE_TPS1
         spec_dst = dst if phase2_direct else mid
         specs = []
         for i, wire in enumerate(self.packet_sizes):
@@ -202,7 +208,9 @@ class TPSProgram(DirectProgramBase):
             return ()
         # Phase-1 packet at its intermediate: forward across the plane.
         chunks = chunks_of(packet)
-        tag: object = ChunkTag("tps2", chunks) if chunks else "tps2"
+        tag: object = (
+            ChunkTag(PHASE_TPS2, chunks) if chunks else PHASE_TPS2
+        )
         return (
             PacketSpec(
                 dst=packet.final_dst,

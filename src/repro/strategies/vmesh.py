@@ -33,7 +33,13 @@ from repro.net.faults import FaultPlan
 from repro.net.packet import Packet, PacketSpec, RoutingMode
 from repro.net.program import BaseProgram
 from repro.strategies.base import AllToAllStrategy
-from repro.strategies.data import ChunkTag, DataChunk, chunks_of
+from repro.strategies.data import (
+    PHASE_VMESH1,
+    PHASE_VMESH2,
+    ChunkTag,
+    DataChunk,
+    chunks_of,
+)
 from repro.util.rng import derive_rng
 from repro.util.validation import require
 
@@ -171,7 +177,7 @@ class VMeshProgram(BaseProgram):
         return self._message_specs(
             dst,
             self.row_packets,
-            "vmesh1",
+            PHASE_VMESH1,
             final_is_dst=True,
             chunks=chunks,
             payload_total=self.map.pvy * self.msg_bytes,
@@ -186,7 +192,7 @@ class VMeshProgram(BaseProgram):
         return self._message_specs(
             dst,
             self.col_packets,
-            "vmesh2",
+            PHASE_VMESH2,
             final_is_dst=True,
             chunks=chunks,
             payload_total=self.map.pvx * self.msg_bytes,
@@ -241,7 +247,7 @@ class VMeshProgram(BaseProgram):
         self, node: int, packet: Packet, now: float
     ) -> Iterable[PacketSpec]:
         kind = packet.tag.kind if isinstance(packet.tag, ChunkTag) else packet.tag
-        if kind == "vmesh2":
+        if kind == PHASE_VMESH2:
             return ()
         # Phase-1 row message packet.
         self._p1_chunks[node].extend(

@@ -1,8 +1,16 @@
 """CLI smoke tests (bgl-alltoall)."""
 
+import json
+
 import pytest
 
 from repro.experiments.cli import main
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
 
 
 def test_list(capsys):
@@ -28,3 +36,74 @@ def test_run_unknown_id():
 def test_bad_scale_rejected():
     with pytest.raises(SystemExit):
         main(["run", "fig5_vmesh_pred", "--scale", "huge"])
+
+
+def test_trace_and_metrics_flags(tmp_path, capsys):
+    trace = tmp_path / "trace.json"
+    metrics = tmp_path / "metrics.json"
+    assert (
+        main(
+            [
+                "run", "fig1_ar_midplane", "--scale", "tiny",
+                "--trace", str(trace), "--trace-sample", "8",
+                "--metrics", str(metrics),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "trace:" in out and "metrics:" in out
+    doc = json.loads(trace.read_text())
+    assert doc["traceEvents"], "Chrome trace has no events"
+    assert {e["ph"] for e in doc["traceEvents"]} <= {"M", "X", "i"}
+    mdoc = json.loads(metrics.read_text())
+    assert mdoc["points"], "metrics file has no per-point entries"
+    first = mdoc["points"][0]["metrics"]
+    assert "link_utilization.x" in first
+    assert "aggregate" in mdoc
+
+
+def test_trace_jsonl_extension(tmp_path, capsys):
+    trace = tmp_path / "trace.jsonl"
+    assert (
+        main(
+            [
+                "run", "fig1_ar_midplane", "--scale", "tiny",
+                "--trace", str(trace), "--trace-sample", "16",
+            ]
+        )
+        == 0
+    )
+    lines = trace.read_text().splitlines()
+    assert lines
+    rec = json.loads(lines[0])
+    assert "kind" in rec and "t" in rec and "point" in rec
+
+
+def test_cache_stats_flag(capsys):
+    assert (
+        main(
+            ["run", "fig5_vmesh_pred", "--scale", "tiny", "--cache-stats"]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "cache:" in out
+    assert "hit(s)" in out and "miss(es)" in out and "store(s)" in out
+
+
+def test_provenance_flag(capsys):
+    assert (
+        main(
+            ["run", "fig5_vmesh_pred", "--scale", "tiny", "--provenance"]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert '"config_fingerprint"' in out
+    assert '"schema_version"' in out
+
+
+def test_quiet_and_verbose_flags():
+    assert main(["-q", "run", "fig5_vmesh_pred", "--scale", "tiny"]) == 0
+    assert main(["-v", "run", "fig5_vmesh_pred", "--scale", "tiny"]) == 0

@@ -1,0 +1,124 @@
+"""Metrics instruments: counters, gauges, histograms, time series."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TimeSeries,
+    aggregate_metrics,
+)
+
+
+class TestInstruments:
+    def test_counter(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert c.to_dict() == {"type": "counter", "value": 5}
+
+    def test_gauge_tracks_last_and_peak(self):
+        g = Gauge()
+        g.set(3.0)
+        g.set(9.0)
+        g.set(2.0)
+        d = g.to_dict()
+        assert d["value"] == 2.0
+        assert d["peak"] == 9.0
+        assert d["samples"] == 3
+
+    def test_histogram_pow2_buckets(self):
+        h = Histogram()
+        for v in (0.5, 1.0, 3.0, 3.9, 100.0):
+            h.observe(v)
+        d = h.to_dict()
+        # 0.5 -> bucket 0; 1.0 -> bucket 1; 3.0, 3.9 -> bucket 2;
+        # 100 -> bucket 7 ([64, 128)).
+        assert d["buckets_pow2"][0] == 1
+        assert d["buckets_pow2"][1] == 1
+        assert d["buckets_pow2"][2] == 2
+        assert d["buckets_pow2"][7] == 1
+        assert d["count"] == 5
+        assert d["min"] == 0.5
+        assert d["max"] == 100.0
+        assert d["mean"] == pytest.approx(sum((0.5, 1.0, 3.0, 3.9, 100.0)) / 5)
+
+    def test_empty_histogram_serializes_finite(self):
+        d = Histogram().to_dict()
+        assert d["count"] == 0
+        assert d["min"] == 0.0
+        assert d["mean"] == 0.0
+
+    def test_timeseries_buckets_by_time(self):
+        ts = TimeSeries(bucket_cycles=10.0, max_buckets=8)
+        ts.add(0.0, 1.0)
+        ts.add(9.9, 2.0)
+        ts.add(25.0, 4.0)
+        assert ts.buckets == [3.0, 0.0, 4.0]
+
+    def test_timeseries_rebins_to_stay_bounded(self):
+        ts = TimeSeries(bucket_cycles=1.0, max_buckets=4)
+        for t in range(32):
+            ts.add(float(t), 1.0)
+        assert len(ts.buckets) <= 4
+        assert sum(ts.buckets) == 32.0  # re-binning never loses mass
+        assert ts.bucket_cycles == 8.0  # doubled 1 -> 2 -> 4 -> 8
+
+    def test_timeseries_validation(self):
+        with pytest.raises(ValueError):
+            TimeSeries(bucket_cycles=0.0)
+        with pytest.raises(ValueError):
+            TimeSeries(max_buckets=1)
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        r = MetricsRegistry()
+        assert r.counter("a") is r.counter("a")
+        assert r.gauge("g") is r.gauge("g")
+
+    def test_name_type_conflict_raises(self):
+        r = MetricsRegistry()
+        r.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            r.gauge("x")
+
+    def test_to_dict_is_sorted_and_json_native(self):
+        r = MetricsRegistry()
+        r.counter("b").inc()
+        r.gauge("a").set(1.0)
+        r.timeseries("c", bucket_cycles=5.0).add(2.0, 1.0)
+        d = r.to_dict()
+        assert list(d) == ["a", "b", "c"]
+        assert json.loads(json.dumps(d)) == d
+
+
+class TestAggregate:
+    def test_counters_sum_gauges_peak_histograms_merge(self):
+        a = MetricsRegistry()
+        a.counter("n").inc(2)
+        a.gauge("g").set(5.0)
+        a.histogram("h").observe(3.0)
+        a.timeseries("t", bucket_cycles=10.0).add(0.0, 7.0)
+        b = MetricsRegistry()
+        b.counter("n").inc(3)
+        b.gauge("g").set(9.0)
+        b.histogram("h").observe(100.0)
+        b.timeseries("t", bucket_cycles=20.0).add(0.0, 3.0)
+        agg = aggregate_metrics([a.to_dict(), b.to_dict()])
+        assert agg["n"]["value"] == 5
+        assert agg["g"]["peak"] == 9.0
+        assert agg["h"]["count"] == 2
+        assert agg["h"]["min"] == 3.0
+        assert agg["h"]["max"] == 100.0
+        assert agg["t"] == {"type": "timeseries", "total": 10.0, "points": 2}
+
+    def test_empty(self):
+        assert aggregate_metrics([]) == {}

@@ -14,6 +14,7 @@ from repro.net.config import NetworkConfig
 from repro.net.faults import FaultPlan
 from repro.runner import (
     SimPoint,
+    canonical_extras,
     counters,
     decode_run,
     encode_run,
@@ -167,6 +168,106 @@ class TestPool:
         counters.reset()
         run_point(p)
         assert counters.simulated == 1
+
+    def test_corrupt_entry_warns_with_path_and_is_counted(
+        self, caplog, monkeypatch
+    ):
+        import logging
+
+        from repro.runner import cache_root
+
+        # Undo any CLI-style logger configuration a prior test left on
+        # the "repro" tree so caplog (root handler) sees the warning.
+        monkeypatch.setattr(logging.getLogger("repro"), "propagate", True)
+        p = _point()
+        run_point(p)
+        entry = next(cache_root().rglob("*.json"))
+        entry.write_text("{truncated")
+        counters.reset()
+        with caplog.at_level("WARNING", logger="repro.runner.cache"):
+            run_point(p)
+        assert counters.cache_corrupt == 1
+        messages = [rec.getMessage() for rec in caplog.records]
+        assert any(
+            "corrupt cache entry" in m and str(entry) in m for m in messages
+        )
+
+    def test_cache_stats_counters(self):
+        pts = [_point(msg_bytes=m) for m in (32, 64)]
+        run_points(pts)
+        assert counters.simulated == 2
+        assert counters.cache_misses == 2
+        assert counters.cache_stores == 2
+        assert counters.cache_hits == 0
+        assert counters.sim_events > 0
+        assert counters.sim_cycles > 0.0
+        assert len(counters.point_keys) == 2
+        counters.reset()
+        run_points(pts)
+        assert counters.cache_hits == 2
+        assert counters.cache_misses == 0
+        assert counters.cache_stores == 0
+        assert counters.simulated == 0
+        # Executed point keys are recorded for hits too (provenance
+        # fingerprints cover the whole sweep, not just fresh points).
+        assert len(counters.point_keys) == 2
+
+    def test_snapshot_is_a_copy(self):
+        run_point(_point())
+        snap = counters.snapshot()
+        before = dict(snap, point_keys=list(snap["point_keys"]))
+        run_point(_point(msg_bytes=96))
+        assert snap["point_keys"] == before["point_keys"]
+        assert len(counters.point_keys) == 2
+
+
+class TestCanonicalExtras:
+    def test_native_types_pass_through(self):
+        val = {"a": 1, "b": [1.5, "x", True, None], "c": {"d": 2}}
+        assert canonical_extras(val) == val
+
+    def test_numpy_scalars_become_native(self):
+        out = canonical_extras(
+            {
+                "i": np.int64(3),
+                "f": np.float64(1.5),
+                "b": np.bool_(True),
+                "arr": np.array([1.0, 2.0]),
+            }
+        )
+        assert out == {"i": 3, "f": 1.5, "b": True, "arr": [1.0, 2.0]}
+        assert type(out["i"]) is int
+        assert type(out["f"]) is float
+        assert type(out["b"]) is bool
+        assert json.loads(json.dumps(out)) == out
+
+    def test_tuples_become_lists(self):
+        assert canonical_extras({"t": (1, (2, 3))}) == {"t": [1, [2, 3]]}
+
+    def test_non_string_key_raises_with_path(self):
+        with pytest.raises(TypeError, match=r"extras\.outer: non-string"):
+            canonical_extras({"outer": {1: "x"}})
+
+    def test_unencodable_value_raises_with_path(self):
+        with pytest.raises(TypeError, match=r"extras\.a\[1\]"):
+            canonical_extras({"a": [0, object()]})
+
+    def test_non_finite_float_raises(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            canonical_extras({"x": float("nan")})
+        with pytest.raises(ValueError, match="non-finite"):
+            canonical_extras([float("inf")])
+
+    def test_extras_roundtrip_through_encode(self):
+        run = simulate_alltoall(
+            ARDirect(), TorusShape.parse("4x4x2"), 64, seed=1
+        )
+        run.result.extras["custom"] = {
+            "n": np.int32(7),
+            "vals": (np.float64(1.0), 2.0),
+        }
+        back = decode_run(json.loads(json.dumps(encode_run(run))))
+        assert back.result.extras["custom"] == {"n": 7, "vals": [1.0, 2.0]}
 
 
 class TestResolveJobs:

@@ -19,6 +19,7 @@ from repro.net.trace import SimulationResult
 from repro.util.units import cycles_to_ms, cycles_to_us
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.check.config import CheckConfig
     from repro.obs.config import ObsConfig
     from repro.strategies.base import AllToAllStrategy
 
@@ -83,6 +84,7 @@ def simulate_alltoall(
     seed: int = 0,
     faults: Optional[FaultPlan] = None,
     obs: Optional["ObsConfig"] = None,
+    check: Optional["CheckConfig"] = None,
 ) -> AllToAllRun:
     """Simulate one all-to-all of *msg_bytes* per rank pair under
     *strategy* on *shape* and return the measured run.
@@ -95,12 +97,18 @@ def simulate_alltoall(
     ``obs`` opts into observability: an enabled
     :class:`~repro.obs.config.ObsConfig` runs the instrumented network
     and attaches the trace/metrics payload as ``result.extras["obs"]``
-    without changing any measured quantity."""
+    without changing any measured quantity.
+
+    ``check`` opts into runtime verification: an enabled
+    :class:`~repro.check.config.CheckConfig` runs the oracle-checked
+    network, which makes identical decisions but raises
+    :class:`~repro.check.oracle.InvariantError` the moment an invariant
+    (conservation, exactly-once, credits, progress, phases) breaks."""
     params = params or MachineParams.bluegene_l()
     program = strategy.build_program(
         shape, msg_bytes, params, seed, faults=faults
     )
-    net = build_network(shape, params, config, faults, obs)
+    net = build_network(shape, params, config, faults, obs, check)
     if strategy.fifo_groups > 1:
         net.set_fifo_groups(strategy.fifo_groups)
     result = net.run(program)

@@ -1,0 +1,47 @@
+"""Process-wide verification context.
+
+Mirrors :mod:`repro.obs.context`: the experiment drivers funnel every
+simulation through :func:`repro.runner.run_points`, whose signatures don't
+carry a verification argument.  The CLI (``run --check``) or a test
+instead *activates* a :class:`~repro.check.config.CheckConfig` here;
+``run_points`` consults it when its own ``check`` argument is ``None``.
+Checked runs bypass the result cache in both directions — a cached result
+was produced without the oracles watching, so replaying it would silently
+skip verification.
+
+Use as a context manager::
+
+    with checking(CheckConfig()):
+        run_experiment("fig1_ar_midplane", scale="tiny")
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Optional
+
+from repro.check.config import CheckConfig
+
+#: Active config (None = verification off).
+_active: Optional[CheckConfig] = None
+
+
+def active_check() -> Optional[CheckConfig]:
+    """The process-wide config, or None when verification is off."""
+    return _active
+
+
+@contextlib.contextmanager
+def checking(cfg: CheckConfig) -> Iterator[CheckConfig]:
+    """Activate *cfg* for the dynamic extent of the block.
+
+    Nesting is not supported (the inner context wins, restoring the outer
+    one on exit).
+    """
+    global _active
+    prev = _active
+    _active = cfg
+    try:
+        yield cfg
+    finally:
+        _active = prev

@@ -1,0 +1,496 @@
+"""Runtime invariant oracles layered over the torus network.
+
+The zero-overhead-when-disabled contract is held structurally, exactly as
+the fault layer (:mod:`repro.net.faultsim`) and the observability layer
+(:mod:`repro.net.instrumented`) hold it: the plain network classes contain
+**no** checking code and no ``if enabled`` branches.  When a
+:class:`~repro.check.config.CheckConfig` asks for verification,
+:func:`repro.net.faultsim.build_network` returns one of the subclasses
+below instead.
+
+Every override calls ``super()`` *first* and then only **reads** state, so
+a checked run makes exactly the decisions — and produces exactly the
+``time_cycles`` and event counts — of an unchecked one; the only possible
+behavioral difference is an :class:`InvariantError` raised at the moment a
+violation is observed.  ``tests/check`` pins this bit-identity.
+
+The oracles (see :class:`~repro.check.config.CheckConfig` for the
+switches):
+
+* **credits** — per launch: the just-decremented downstream credit count
+  must be non-negative, and the packet's hop count must stay below the
+  routability bound (minimal paths never exceed the shape's diameter;
+  fault reroutes and escape detours get slack, but unbounded growth means
+  a routing loop).
+* **exactly_once** — an independent ledger of consumed sequence numbers:
+  if the reliability layer's dedup is broken and a retransmitted twin is
+  consumed a second time, the oracle raises at that delivery.
+* **phases** — per-strategy geometry at delivery, sniffed from the node
+  program (``linear_axis`` for TPS-family programs, ``map`` for VMesh):
+  TPS phase-1 packets must land on the final destination's linear line
+  (fault-free: having moved *only* along the linear axis), TPS phase-2
+  packets must be final and must never have crossed linear lines, VMesh
+  phase-1/phase-2 packets must stay inside the sender's virtual-mesh row/
+  column, and direct packets must never be consumed away from their final
+  destination.
+* **progress** — every ``audit_interval`` deliveries (and at the end), the
+  per-node queued-packet counters must match the actual queue contents
+  (a non-empty queue behind a zero counter is never arbitrated again — a
+  silent stall), and every token/slot count must lie within capacity.
+* **conservation** — at result assembly: all credits and FIFO/reception
+  slots returned, queues empty, ``injected == delivered + duplicates +
+  lost``, ``final + forwarded == delivered``, and total link-busy time
+  equal to the service time of the observed launches.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.model.machine import MachineParams
+from repro.model.torus import TorusShape
+from repro.net.config import NetworkConfig
+from repro.net.errors import SimulationError
+from repro.net.faults import FaultPlan
+from repro.net.faultsim import FaultyTorusNetwork
+from repro.net.instrumented import (
+    _OBS_SLOTS,
+    InstrumentedFaultyTorusNetwork,
+    InstrumentedTorusNetwork,
+)
+from repro.net.packet import Packet, PacketSpec
+from repro.net.simulator import TorusNetwork
+from repro.net.trace import SimulationResult
+from repro.check.config import CheckConfig
+from repro.obs.config import ObsConfig
+from repro.strategies.data import (
+    PHASE_DIRECT,
+    PHASE_TPS1,
+    PHASE_TPS2,
+    PHASE_VMESH1,
+    PHASE_VMESH2,
+    tag_kind,
+)
+
+
+class InvariantError(SimulationError):
+    """A runtime invariant oracle observed a violation.
+
+    ``oracle`` names the failed oracle and ``context`` carries the state
+    that witnessed it (cycle, node, packet) — enough to understand the
+    failure without re-running."""
+
+    def __init__(self, oracle: str, message: str, **context: object) -> None:
+        self.oracle = oracle
+        self.context = context
+        detail = ", ".join(f"{k}={v!r}" for k, v in sorted(context.items()))
+        super().__init__(
+            f"invariant violated [{oracle}]: {message}"
+            + (f" ({detail})" if detail else "")
+        )
+
+
+#: Slots shared by the concrete checked classes.
+_CHK_SLOTS = (
+    "check",
+    "_chk_seen_seqs",
+    "_chk_busy_total",
+    "_chk_deliveries",
+    "_chk_max_hops",
+    "_chk_bound",
+    "_chk_axis",
+    "_chk_strict_tps",
+    "_chk_vmap",
+)
+
+
+class _CheckedMixin:
+    """Invariant oracles layered over a network class via ``super()``."""
+
+    __slots__ = ()
+
+    # -------------------------------------------------------------- #
+    # setup
+    # -------------------------------------------------------------- #
+
+    def _init_check(self, check: CheckConfig) -> None:
+        self.check = check
+        #: Sequence numbers already consumed (independent of the network's
+        #: own dedup set — that is the mechanism under test).
+        self._chk_seen_seqs: set[int] = set()
+        self._chk_busy_total = 0.0
+        self._chk_deliveries = 0
+        # Routability bound: a minimal path never exceeds the diameter
+        # (sum of per-axis half-extents); up*/down* escape detours and
+        # fault reroutes are bounded by the surviving graph's size, so
+        # 4 * (sum of extents) + 16 is generous slack for any legal path
+        # while still catching unbounded ping-pong.
+        self._chk_max_hops = 4 * sum(self.shape.dims) + 16
+        self._chk_bound = False
+        self._chk_axis: Optional[int] = None
+        self._chk_strict_tps = False
+        self._chk_vmap = None
+
+    def _chk_bind_program(self) -> None:
+        """Sniff the node program (once, at first delivery) for the
+        strategy geometry the phase oracles need."""
+        self._chk_bound = True
+        prog = self._program
+        axis = getattr(prog, "linear_axis", None)
+        if isinstance(axis, int) and 0 <= axis < self._ndim:
+            self._chk_axis = axis
+            # Fault-free TPS picks the intermediate on the source's own
+            # line; with dead nodes the re-pick may sit anywhere on the
+            # destination's line, so only the line-membership half of the
+            # invariant survives.
+            self._chk_strict_tps = not getattr(prog, "dead_nodes", frozenset())
+        vmap = getattr(prog, "map", None)
+        if vmap is not None and hasattr(vmap, "row_col"):
+            self._chk_vmap = vmap
+
+    # -------------------------------------------------------------- #
+    # lifecycle hooks (super() first, then read-only verification)
+    # -------------------------------------------------------------- #
+
+    def _launch(self, u: int, d: int, v: int, pkt: Packet, vc: int) -> None:
+        now = self._now
+        busy_before = self._link_busy[u * self._ndirs + d]
+        super()._launch(u, d, v, pkt, vc)
+        self._chk_busy_total += self._link_busy[u * self._ndirs + d] - now
+        if not self.check.credits:
+            return
+        tok = self._tokens[(v * self._ndirs + (d ^ 1)) * self._nvcs + vc]
+        if tok < 0:
+            raise InvariantError(
+                "credits",
+                "downstream credit went negative at launch",
+                cycle=now, node=u, direction=d, vc=vc, tokens=tok,
+                pid=pkt.pid,
+            )
+        if busy_before > now:
+            raise InvariantError(
+                "credits",
+                "launch on a busy link",
+                cycle=now, node=u, direction=d, busy_until=busy_before,
+                pid=pkt.pid,
+            )
+        if pkt.hops > self._chk_max_hops:
+            raise InvariantError(
+                "credits",
+                f"packet exceeded the {self._chk_max_hops}-hop "
+                f"routability bound (routing loop?)",
+                cycle=now, pid=pkt.pid, src=pkt.src, dst=pkt.dst,
+                hops=pkt.hops,
+            )
+
+    def _begin_injection(
+        self, u: int, spec: PacketSpec, fifo: int, src: int
+    ) -> None:
+        super()._begin_injection(u, spec, fifo, src)
+        if self.check.credits:
+            free = self._fifo_free[u * self._nfifos + fifo]
+            if free < 0:
+                raise InvariantError(
+                    "credits",
+                    "injection FIFO slot count went negative",
+                    cycle=self._now, node=u, fifo=fifo, free=free,
+                )
+
+    def _on_arrive(self, v: int, in_dir: int, pkt: Packet) -> None:
+        super()._on_arrive(v, in_dir, pkt)
+        if not self.check.credits:
+            return
+        if self._recv_free[v] < 0:
+            raise InvariantError(
+                "credits",
+                "reception slot count went negative",
+                cycle=self._now, node=v, free=self._recv_free[v],
+            )
+        depth = len(
+            self._vcq[(v * self._ndirs + in_dir) * self._nvcs + pkt.vc]
+        )
+        if depth > self._vc_depth:
+            raise InvariantError(
+                "credits",
+                f"VC buffer overfilled beyond its {self._vc_depth}-packet "
+                f"depth (credit protocol broken)",
+                cycle=self._now, node=v, in_dir=in_dir, vc=pkt.vc,
+                depth=depth,
+            )
+
+    def _finish_delivery(self, u: int, pkt: Packet) -> None:
+        st = self.stats
+        delivered0 = st.delivered_packets
+        super()._finish_delivery(u, pkt)
+        if st.delivered_packets == delivered0:
+            return  # receiver-side duplicate discard (fault runs)
+        chk = self.check
+        if chk.exactly_once and pkt.seq >= 0:
+            if pkt.seq in self._chk_seen_seqs:
+                raise InvariantError(
+                    "exactly_once",
+                    "sequenced packet consumed twice (dedup broken)",
+                    cycle=self._now, node=u, seq=pkt.seq, pid=pkt.pid,
+                    src=pkt.src,
+                )
+            self._chk_seen_seqs.add(pkt.seq)
+        if chk.phases:
+            if not self._chk_bound:
+                self._chk_bind_program()
+            self._chk_phase(u, pkt)
+        if chk.progress:
+            self._chk_deliveries += 1
+            if self._chk_deliveries % chk.audit_interval == 0:
+                self._chk_audit()
+
+    # -------------------------------------------------------------- #
+    # oracles
+    # -------------------------------------------------------------- #
+
+    def _chk_phase(self, u: int, pkt: Packet) -> None:
+        """Per-strategy phase/geometry invariants at consumption."""
+        kind = tag_kind(pkt)
+        if kind is None:
+            return
+        if kind == PHASE_DIRECT:
+            if u != pkt.final_dst:
+                raise InvariantError(
+                    "phases",
+                    "direct packet consumed away from its destination",
+                    cycle=self._now, node=u, final_dst=pkt.final_dst,
+                    pid=pkt.pid,
+                )
+            return
+        axis = self._chk_axis
+        if kind == PHASE_TPS1 and axis is not None:
+            coord = self._coord[axis]
+            if coord[u] != coord[pkt.final_dst]:
+                raise InvariantError(
+                    "phases",
+                    "TPS phase-1 packet landed off the destination's "
+                    "linear line",
+                    cycle=self._now, node=u, src=pkt.src,
+                    final_dst=pkt.final_dst, axis=axis, pid=pkt.pid,
+                )
+            if self._chk_strict_tps:
+                for a in range(self._ndim):
+                    if a == axis:
+                        continue
+                    if self._coord[a][u] != self._coord[a][pkt.src]:
+                        raise InvariantError(
+                            "phases",
+                            "TPS phase-1 packet left its source's plane "
+                            "before the linear phase completed",
+                            cycle=self._now, node=u, src=pkt.src,
+                            axis=a, pid=pkt.pid,
+                        )
+        elif kind == PHASE_TPS2 and axis is not None:
+            if u != pkt.final_dst:
+                raise InvariantError(
+                    "phases",
+                    "TPS phase-2 packet consumed away from its "
+                    "destination",
+                    cycle=self._now, node=u, final_dst=pkt.final_dst,
+                    pid=pkt.pid,
+                )
+            coord = self._coord[axis]
+            if coord[pkt.src] != coord[u]:
+                raise InvariantError(
+                    "phases",
+                    "TPS phase-2 packet crossed linear lines (planar "
+                    "phase must be linear-free)",
+                    cycle=self._now, node=u, src=pkt.src, axis=axis,
+                    pid=pkt.pid,
+                )
+        elif kind == PHASE_VMESH1 and self._chk_vmap is not None:
+            row_u, _ = self._chk_vmap.row_col(u)
+            row_s, _ = self._chk_vmap.row_col(pkt.src)
+            if row_u != row_s or u != pkt.final_dst:
+                raise InvariantError(
+                    "phases",
+                    "VMesh phase-1 packet left its sender's row",
+                    cycle=self._now, node=u, src=pkt.src, pid=pkt.pid,
+                )
+        elif kind == PHASE_VMESH2 and self._chk_vmap is not None:
+            _, col_u = self._chk_vmap.row_col(u)
+            _, col_s = self._chk_vmap.row_col(pkt.src)
+            if col_u != col_s or u != pkt.final_dst:
+                raise InvariantError(
+                    "phases",
+                    "VMesh phase-2 packet left its sender's column",
+                    cycle=self._now, node=u, src=pkt.src, pid=pkt.pid,
+                )
+
+    def _chk_audit(self) -> None:
+        """No-stuck-queue / bounded-resource audit over the whole state."""
+        vc_depth = self._vc_depth
+        for i, t in enumerate(self._tokens):
+            if t < 0 or t > vc_depth:
+                raise InvariantError(
+                    "progress",
+                    f"credit count out of [0, {vc_depth}]",
+                    cycle=self._now, index=i, tokens=t,
+                )
+        cap = self.config.injection_fifo_depth
+        for i, f in enumerate(self._fifo_free):
+            if f < 0 or f > cap:
+                raise InvariantError(
+                    "progress",
+                    f"injection FIFO free count out of [0, {cap}]",
+                    cycle=self._now, index=i, free=f,
+                )
+        rcap = self.config.reception_fifo_depth
+        for u, r in enumerate(self._recv_free):
+            if r < 0 or r > rcap:
+                raise InvariantError(
+                    "progress",
+                    f"reception free count out of [0, {rcap}]",
+                    cycle=self._now, node=u, free=r,
+                )
+        for u in range(self._p):
+            actual = sum(len(q) for q in self._ports_q[u])
+            if self._queued[u] != actual:
+                raise InvariantError(
+                    "progress",
+                    "queued-packet counter diverged from queue contents "
+                    "(stuck queue: arbitration will skip this node)",
+                    cycle=self._now, node=u, counter=self._queued[u],
+                    actual=actual,
+                )
+
+    def _chk_conservation(self) -> None:
+        """End-of-run accounting: nothing leaked, everything returned."""
+        vc_depth = self._vc_depth
+        leaked = sum(1 for t in self._tokens if t != vc_depth)
+        if leaked:
+            raise InvariantError(
+                "conservation",
+                f"{leaked} VC credit(s) not returned to depth {vc_depth}",
+                cycle=self._now,
+            )
+        cap = self.config.injection_fifo_depth
+        if any(f != cap for f in self._fifo_free):
+            raise InvariantError(
+                "conservation",
+                "injection FIFO slots not all returned",
+                cycle=self._now,
+            )
+        rcap = self.config.reception_fifo_depth
+        if any(r != rcap for r in self._recv_free):
+            raise InvariantError(
+                "conservation",
+                "reception slots not all returned",
+                cycle=self._now,
+            )
+        st = self.stats
+        accounted = st.delivered_packets + st.duplicate_packets + st.lost_packets
+        if st.injected_packets != accounted:
+            raise InvariantError(
+                "conservation",
+                "packet conservation broken: injected != delivered + "
+                "duplicates + lost",
+                injected=st.injected_packets,
+                delivered=st.delivered_packets,
+                duplicates=st.duplicate_packets,
+                lost=st.lost_packets,
+            )
+        if st.final_deliveries + st.forwarded_packets != st.delivered_packets:
+            raise InvariantError(
+                "conservation",
+                "delivery split broken: final + forwarded != delivered",
+                final=st.final_deliveries,
+                forwarded=st.forwarded_packets,
+                delivered=st.delivered_packets,
+            )
+        total_busy = sum(self._busy_cycles)
+        if abs(total_busy - self._chk_busy_total) > 1e-6 * max(
+            1.0, total_busy
+        ):
+            raise InvariantError(
+                "conservation",
+                "link-busy accounting diverged from observed launches",
+                busy_cycles=total_busy,
+                observed=self._chk_busy_total,
+            )
+
+    # -------------------------------------------------------------- #
+    # result assembly
+    # -------------------------------------------------------------- #
+
+    def _result(self) -> SimulationResult:
+        chk = self.check
+        if chk.progress:
+            self._chk_audit()
+        if chk.conservation:
+            self._chk_conservation()
+        return super()._result()
+
+
+class CheckedTorusNetwork(_CheckedMixin, TorusNetwork):
+    """Pristine torus network with invariant oracles layered on."""
+
+    __slots__ = _CHK_SLOTS
+
+    def __init__(
+        self,
+        shape: TorusShape,
+        params: Optional[MachineParams] = None,
+        config: Optional[NetworkConfig] = None,
+        check: Optional[CheckConfig] = None,
+    ) -> None:
+        super().__init__(shape, params, config)
+        self._init_check(check if check is not None else CheckConfig())
+
+
+class CheckedFaultyTorusNetwork(_CheckedMixin, FaultyTorusNetwork):
+    """Fault-degraded torus network with invariant oracles layered on."""
+
+    __slots__ = _CHK_SLOTS
+
+    def __init__(
+        self,
+        shape: TorusShape,
+        params: Optional[MachineParams] = None,
+        config: Optional[NetworkConfig] = None,
+        faults: Optional[FaultPlan] = None,
+        check: Optional[CheckConfig] = None,
+    ) -> None:
+        super().__init__(shape, params, config, faults)
+        self._init_check(check if check is not None else CheckConfig())
+
+
+class CheckedInstrumentedTorusNetwork(_CheckedMixin, InstrumentedTorusNetwork):
+    """Oracles stacked over the observability-instrumented network."""
+
+    __slots__ = _CHK_SLOTS
+
+    def __init__(
+        self,
+        shape: TorusShape,
+        params: Optional[MachineParams] = None,
+        config: Optional[NetworkConfig] = None,
+        obs: Optional[ObsConfig] = None,
+        check: Optional[CheckConfig] = None,
+    ) -> None:
+        super().__init__(shape, params, config, obs)
+        self._init_check(check if check is not None else CheckConfig())
+
+
+class CheckedInstrumentedFaultyTorusNetwork(
+    _CheckedMixin, InstrumentedFaultyTorusNetwork
+):
+    """Oracles stacked over the instrumented fault-degraded network."""
+
+    __slots__ = _CHK_SLOTS
+
+    def __init__(
+        self,
+        shape: TorusShape,
+        params: Optional[MachineParams] = None,
+        config: Optional[NetworkConfig] = None,
+        faults: Optional[FaultPlan] = None,
+        obs: Optional[ObsConfig] = None,
+        check: Optional[CheckConfig] = None,
+    ) -> None:
+        super().__init__(shape, params, config, faults, obs)
+        self._init_check(check if check is not None else CheckConfig())

@@ -22,6 +22,12 @@ metrics (per-axis link-utilization time series, latency histograms,
 queue/FIFO gauges) plus a cross-point aggregate as JSON.  Observed runs
 bypass the result cache so they always simulate.  ``--cache-stats``
 prints runner cache counters; ``-v``/``-q`` control log verbosity.
+
+Verification (DESIGN.md section 11): ``--check`` reruns every simulation
+on the invariant-checked network — packet conservation, exactly-once
+delivery, credit non-negativity, stuck-queue audits and per-strategy
+phase invariants raise immediately on violation.  Checked runs bypass
+the result cache in both directions (a cached result was never checked).
 """
 
 from __future__ import annotations
@@ -140,6 +146,12 @@ def main(argv: list[str] | None = None) -> int:
         "(per-axis utilization time series, latency histograms, gauges)",
     )
     runp.add_argument(
+        "--check",
+        action="store_true",
+        help="run every simulation on the invariant-checked network "
+        "(repro.check oracles; bypasses the result cache)",
+    )
+    runp.add_argument(
         "--cache-stats",
         action="store_true",
         help="print cache hit/miss/store/corrupt counters after the run",
@@ -166,6 +178,13 @@ def main(argv: list[str] | None = None) -> int:
 
     ids = list(ALL) if args.exp_id == "all" else [args.exp_id]
 
+    # Counters are process-global; reset so --cache-stats reflects this
+    # invocation only (matters when main() is called in-process, as the
+    # tests do — a shell invocation is always a fresh process anyway).
+    from repro.runner.pool import counters
+
+    counters.reset()
+
     obs_on = bool(args.trace or args.metrics)
     if obs_on:
         from repro.obs.config import ObsConfig
@@ -182,7 +201,17 @@ def main(argv: list[str] | None = None) -> int:
 
         ctx = contextlib.nullcontext([])
 
-    with ctx as collected:
+    if args.check:
+        from repro.check.config import CheckConfig
+        from repro.check.context import checking
+
+        chk_ctx = checking(CheckConfig())
+    else:
+        import contextlib
+
+        chk_ctx = contextlib.nullcontext()
+
+    with ctx as collected, chk_ctx:
         for eid in ids:
             t0 = time.time()
             result = run_experiment(

@@ -35,6 +35,7 @@ from heapq import heappop
 from typing import TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.check.config import CheckConfig
     from repro.obs.config import ObsConfig
 
 from repro.model.machine import MachineParams
@@ -478,18 +479,41 @@ def build_network(
     config: Optional[NetworkConfig] = None,
     faults: Optional[FaultPlan] = None,
     obs: Optional["ObsConfig"] = None,
+    check: Optional["CheckConfig"] = None,
 ) -> TorusNetwork:
-    """Instantiate the right network for *faults* and *obs*.
+    """Instantiate the right network for *faults*, *obs* and *check*.
 
     The zero-fault path (no plan, or an empty plan) returns the plain
     :class:`TorusNetwork` — identical code, identical results, no fault
     branches in the hot loop.  Likewise observability: only an
     :class:`~repro.obs.config.ObsConfig` with tracing or metrics enabled
-    selects the instrumented subclasses; otherwise the un-instrumented
-    classes run exactly as before.
+    selects the instrumented subclasses, and only a
+    :class:`~repro.check.config.CheckConfig` with at least one oracle on
+    selects the checked subclasses; otherwise the plain classes run
+    exactly as before.
     """
     no_faults = faults is None or faults.is_empty
-    if obs is not None and obs.enabled:
+    want_obs = obs is not None and obs.enabled
+    if check is not None and check.enabled:
+        from repro.check.oracle import (
+            CheckedFaultyTorusNetwork,
+            CheckedInstrumentedFaultyTorusNetwork,
+            CheckedInstrumentedTorusNetwork,
+            CheckedTorusNetwork,
+        )
+
+        if want_obs:
+            if no_faults:
+                return CheckedInstrumentedTorusNetwork(
+                    shape, params, config, obs, check
+                )
+            return CheckedInstrumentedFaultyTorusNetwork(
+                shape, params, config, faults, obs, check
+            )
+        if no_faults:
+            return CheckedTorusNetwork(shape, params, config, check)
+        return CheckedFaultyTorusNetwork(shape, params, config, faults, check)
+    if want_obs:
         from repro.net.instrumented import (
             InstrumentedFaultyTorusNetwork,
             InstrumentedTorusNetwork,

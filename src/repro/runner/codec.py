@@ -121,8 +121,18 @@ def canonical_extras(value: Any, path: str = "extras") -> Any:
     offending path instead of letting ``json.dumps`` produce an opaque
     error (or, worse, ``allow_nan`` artifacts) deep inside a worker.
     """
-    if value is None or isinstance(value, (bool, int, str)):
+    if value is None:
         return value
+    # Exact native types only: an IntEnum (e.g. RoutingMode) or np.str_
+    # would satisfy an isinstance check yet make the fresh payload differ
+    # from its decoded-from-JSON twin in type, breaking the bit-identity
+    # contract.  Coerce subclasses down to the base type.
+    if isinstance(value, bool):
+        return value if type(value) is bool else bool(value)
+    if isinstance(value, int):
+        return value if type(value) is int else int(value)
+    if isinstance(value, str):
+        return value if type(value) is str else str(value)
     if isinstance(value, float):
         if value != value or value in (float("inf"), float("-inf")):
             raise ValueError(f"{path}: non-finite float {value!r}")

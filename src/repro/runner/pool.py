@@ -39,6 +39,8 @@ from itertools import repeat
 from typing import Iterable, Optional, Sequence
 
 from repro.api import AllToAllRun, simulate_alltoall
+from repro.check.config import CheckConfig
+from repro.check.context import active_check
 from repro.obs.config import ObsConfig
 from repro.obs.context import active_config, collect
 from repro.runner.cache import cache_get, cache_put, pop_corrupt_count
@@ -121,7 +123,9 @@ def point_label(point: SimPoint) -> str:
 
 
 def _simulate_encoded(
-    point: SimPoint, obs: Optional[ObsConfig] = None
+    point: SimPoint,
+    obs: Optional[ObsConfig] = None,
+    check: Optional[CheckConfig] = None,
 ) -> dict:
     """Worker body: run one point and return the canonical payload.
 
@@ -129,7 +133,8 @@ def _simulate_encoded(
     process boundary and what lands in the cache, so both paths are the
     same bytes by construction.  With *obs* enabled the payload also
     carries ``result.extras["obs"]`` (trace + metrics), which the parent
-    harvests into the active collector.
+    harvests into the active collector.  With *check* enabled the point
+    runs on the oracle-checked network (same decisions, same payload).
     """
     run = simulate_alltoall(
         point.strategy,
@@ -140,6 +145,7 @@ def _simulate_encoded(
         seed=point.seed,
         faults=point.faults,
         obs=obs,
+        check=check,
     )
     return encode_run(run)
 
@@ -153,22 +159,32 @@ def run_points(
     points: Sequence[SimPoint],
     jobs: Optional[int] = None,
     obs: Optional[ObsConfig] = None,
+    check: Optional[CheckConfig] = None,
 ) -> list[AllToAllRun]:
     """Execute *points*, in parallel when ``jobs > 1``, through the cache.
 
     Returns one :class:`AllToAllRun` per point, in input order.  *obs*
     defaults to the process-wide config activated by
     :func:`repro.obs.context.observe`; an enabled config runs every point
-    instrumented and bypasses the cache (see module docstring).
+    instrumented and bypasses the cache (see module docstring).  *check*
+    likewise defaults to the config activated by
+    :func:`repro.check.context.checking`; an enabled config runs every
+    point on the oracle-checked network and also bypasses the cache in
+    both directions — a cached result was produced without the oracles
+    watching, so replaying it would silently skip verification.
     """
     points = list(points)
     if obs is None:
         obs = active_config()
     observed = obs is not None and obs.enabled
+    if check is None:
+        check = active_check()
+    checked = check is not None and check.enabled
+    bypass = observed or checked
 
     keys = [point_key(p) for p in points]
     counters.point_keys.extend(keys)
-    if observed:
+    if bypass:
         payloads: list[Optional[dict]] = [None] * len(points)
         misses = list(range(len(points)))
     else:
@@ -184,7 +200,7 @@ def run_points(
         len(points),
         len(misses),
         jobs,
-        " [observed, cache bypassed]" if observed else "",
+        " [observed/checked, cache bypassed]" if bypass else "",
     )
     if misses:
         todo = [points[i] for i in misses]
@@ -193,10 +209,12 @@ def run_points(
                 max_workers=min(jobs, len(todo))
             ) as pool:
                 fresh = list(
-                    pool.map(_simulate_encoded, todo, repeat(obs))
+                    pool.map(
+                        _simulate_encoded, todo, repeat(obs), repeat(check)
+                    )
                 )
         else:
-            fresh = [_simulate_encoded(p, obs) for p in todo]
+            fresh = [_simulate_encoded(p, obs, check) for p in todo]
         counters.simulated += len(todo)
         for i, payload in zip(misses, fresh):
             result = payload["result"]
@@ -208,7 +226,7 @@ def run_points(
                 result["time_cycles"],
                 result["events_processed"],
             )
-            if not observed:
+            if not bypass:
                 if cache_put(keys[i], payload):
                     counters.cache_stores += 1
             payloads[i] = payload
@@ -232,6 +250,7 @@ def run_grid(
     faults=None,
     jobs: Optional[int] = None,
     obs: Optional[ObsConfig] = None,
+    check: Optional[CheckConfig] = None,
 ) -> list[AllToAllRun]:
     """Convenience: the (strategy × message size) product on one shape,
     row-major in the order given."""
@@ -240,4 +259,4 @@ def run_grid(
         for s in strategies
         for m in msg_sizes
     ]
-    return run_points(pts, jobs=jobs, obs=obs)
+    return run_points(pts, jobs=jobs, obs=obs, check=check)

@@ -9,8 +9,13 @@ from repro.experiments.cli import main
 
 @pytest.fixture(autouse=True)
 def _isolated_cache(tmp_path, monkeypatch):
+    from repro.runner.pool import counters
+
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
     monkeypatch.delenv("REPRO_CACHE", raising=False)
+    counters.reset()
+    yield
+    counters.reset()
 
 
 def test_list(capsys):
@@ -102,6 +107,64 @@ def test_provenance_flag(capsys):
     out = capsys.readouterr().out
     assert '"config_fingerprint"' in out
     assert '"schema_version"' in out
+
+
+def _fingerprint(out):
+    for block in out.split("\n{"):
+        if '"config_fingerprint"' in block:
+            doc = json.loads("{" + block.split("\n}")[0] + "\n}")
+            return doc["config_fingerprint"]
+    raise AssertionError("no provenance record in output")
+
+
+def test_provenance_fingerprint_stable_across_runs(capsys):
+    argv = ["run", "fig1_ar_midplane", "--scale", "tiny", "--provenance"]
+    assert main(argv) == 0
+    first = _fingerprint(capsys.readouterr().out)
+    assert main(argv) == 0
+    second = _fingerprint(capsys.readouterr().out)
+    assert first == second
+
+
+def test_cache_stats_warm_run_reports_hits(capsys):
+    argv = ["run", "fig1_ar_midplane", "--scale", "tiny", "--cache-stats"]
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+    assert "0 hit(s)" in cold and "0 corrupt" in cold
+    assert main(argv) == 0
+    warm = capsys.readouterr().out
+    assert "0 miss(es)" in warm and "0 hit(s)" not in warm
+    assert "0 point(s) simulated" in warm
+
+
+def test_cache_stats_counts_corrupt_entries(capsys):
+    from repro.runner import cache_root
+
+    argv = ["run", "fig1_ar_midplane", "--scale", "tiny", "--cache-stats"]
+    assert main(argv) == 0
+    capsys.readouterr()
+    entries = list(cache_root().rglob("*.json"))
+    assert entries
+    for entry in entries:
+        entry.write_text("{truncated")
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert f"{len(entries)} corrupt" in out
+    # A corrupt entry is a miss: the point re-simulates and re-stores.
+    assert "0 point(s) simulated" not in out
+    assert "0 store(s)" not in out
+
+
+def test_check_flag_bypasses_cache(capsys):
+    argv = ["run", "fig1_ar_midplane", "--scale", "tiny", "--cache-stats"]
+    assert main(argv) == 0
+    capsys.readouterr()
+    # Even with a warm cache, --check must re-simulate every point on the
+    # oracle-checked network and store nothing.
+    assert main(argv + ["--check"]) == 0
+    out = capsys.readouterr().out
+    assert "0 hit(s)" in out and "0 store(s)" in out
+    assert "0 point(s) simulated" not in out
 
 
 def test_quiet_and_verbose_flags():

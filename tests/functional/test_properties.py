@@ -2,15 +2,19 @@
 
 The exchange postcondition — every ordered pair delivered exactly once —
 must hold for every strategy on arbitrary small shapes, message sizes and
-seeds; the timed simulator must agree with the functional engine on
-delivery counts; packetization must conserve payload bytes.
+seeds.  Since the differential-verification subsystem, the checks
+themselves live in :mod:`repro.check.differential`: the functional leg
+(payload permutation + sim-vs-functional delivered-count agreement) and
+the full three-engine cross-check are defined once there and driven here
+over randomized inputs.
 """
 
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.functional.verify import run_and_verify
+from repro.check.differential import differential_point, functional_leg
 from repro.model.machine import MachineParams
 from repro.model.torus import TorusShape
+from repro.runner.point import SimPoint
 from repro.strategies import (
     ARDirect,
     DRDirect,
@@ -36,30 +40,31 @@ COMMON = dict(
 )
 
 
+def assert_exchange_ok(strategy, lbl, m, seed, **ctx):
+    """The repro.check functional leg, as a test assertion."""
+    point = SimPoint(strategy, TorusShape.parse(lbl), m, BGL, None, seed, None)
+    failures = functional_leg(point)
+    assert not failures, (lbl, m, seed, ctx, failures)
+
+
 @given(lbl=shape_labels, m=msg_sizes, seed=seeds)
 @settings(**COMMON)
 def test_direct_exchange_exactly_once(lbl, m, seed):
-    shape = TorusShape.parse(lbl)
-    _, rep = run_and_verify(ARDirect(), shape, m, BGL, seed)
-    assert rep.ok, (lbl, m, seed, rep.summary())
+    assert_exchange_ok(ARDirect(), lbl, m, seed)
 
 
 @given(lbl=shape_labels, m=msg_sizes, seed=seeds)
 @settings(**COMMON)
 def test_dr_exchange_exactly_once(lbl, m, seed):
-    shape = TorusShape.parse(lbl)
-    _, rep = run_and_verify(DRDirect(), shape, m, BGL, seed)
-    assert rep.ok, (lbl, m, seed, rep.summary())
+    assert_exchange_ok(DRDirect(), lbl, m, seed)
 
 
 @given(lbl=shape_labels, m=msg_sizes, seed=seeds)
 @settings(**COMMON)
 def test_tps_exchange_exactly_once(lbl, m, seed):
-    shape = TorusShape.parse(lbl)
-    if shape.ndim < 2:
+    if TorusShape.parse(lbl).ndim < 2:
         return
-    _, rep = run_and_verify(TwoPhaseSchedule(), shape, m, BGL, seed)
-    assert rep.ok, (lbl, m, seed, rep.summary())
+    assert_exchange_ok(TwoPhaseSchedule(), lbl, m, seed)
 
 
 @given(lbl=shape_labels, m=msg_sizes, seed=seeds, axis=st.integers(0, 2))
@@ -69,18 +74,15 @@ def test_tps_any_linear_axis_exchange(lbl, m, seed, axis):
     if shape.ndim < 2:
         return
     axis = axis % shape.ndim
-    _, rep = run_and_verify(
-        TwoPhaseSchedule(linear_axis=axis), shape, m, BGL, seed
+    assert_exchange_ok(
+        TwoPhaseSchedule(linear_axis=axis), lbl, m, seed, axis=axis
     )
-    assert rep.ok, (lbl, m, seed, axis, rep.summary())
 
 
 @given(lbl=shape_labels, m=msg_sizes, seed=seeds)
 @settings(**COMMON)
 def test_vmesh_exchange_exactly_once(lbl, m, seed):
-    shape = TorusShape.parse(lbl)
-    _, rep = run_and_verify(VirtualMesh2D(), shape, m, BGL, seed)
-    assert rep.ok, (lbl, m, seed, rep.summary())
+    assert_exchange_ok(VirtualMesh2D(), lbl, m, seed)
 
 
 @given(m=st.integers(1, 5000))
@@ -100,17 +102,18 @@ def test_packetization_conserves_bytes(m):
     seed=st.integers(0, 100),
 )
 @settings(deadline=None, max_examples=12)
-def test_timed_and_functional_agree_on_final_deliveries(lbl, m, seed):
-    from repro.api import simulate_alltoall
-    from repro.functional.engine import FunctionalEngine
-
+def test_three_engines_agree(lbl, m, seed):
+    # The full differential harness: oracle-checked simulation, model
+    # tolerance band, functional payload permutation, and exact
+    # sim-vs-functional delivered-count agreement — one call.
     shape = TorusShape.parse(lbl)
     strat = TwoPhaseSchedule() if shape.ndim >= 2 else ARDirect()
-    run = simulate_alltoall(strat, shape, m, BGL, seed=seed)
-    prog = strat.build_program(shape, m, BGL, seed, carry_data=True)
-    func = FunctionalEngine(shape).execute(prog)
-    # Timed final deliveries == total packets functionally delivered at
-    # their final destination.
-    assert run.result.final_deliveries == (
-        func.packets_delivered - func.packets_forwarded
-    )
+    point = SimPoint(strat, shape, m, BGL, None, seed, None)
+    report = differential_point(point)
+    assert report.ok, (lbl, m, seed, report.failures)
+
+
+@given(lbl=st.sampled_from(["2x4", "2x2x4"]), seed=st.integers(0, 50))
+@settings(deadline=None, max_examples=8)
+def test_throttled_exchange_exactly_once(lbl, seed):
+    assert_exchange_ok(ThrottledAR(), lbl, 64, seed)

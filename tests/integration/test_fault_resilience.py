@@ -10,6 +10,8 @@ additionally exercised for the strategies that can degrade around them.
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.api import simulate_alltoall
 from repro.functional.verify import run_and_verify
 from repro.model.torus import TorusShape

@@ -7,6 +7,8 @@ reproduction targets (absolute percentages differ; see DESIGN.md 5).
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.api import simulate_alltoall
 from repro.model.machine import MachineParams
 from repro.model.torus import TorusShape

@@ -1,0 +1,150 @@
+"""Property tests: the canonical codec really is canonical.
+
+``canonical_extras`` guards the cache/IPC boundary: whatever strategies or
+the obs layer stuff into ``extras``, the canonical form must consist of
+exact native JSON types (no numpy scalars, no IntEnum, no np.str_), be a
+fixed point, and survive a JSON text round-trip with types intact — that
+is what makes fresh, pooled and cached results bit-identical.
+"""
+
+import enum
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.runner.codec import canonical_extras
+
+
+class Mode(enum.IntEnum):
+    """Stand-in for RoutingMode-style enums that leak into extras."""
+
+    A = 0
+    B = 3
+
+
+_NATIVE = (bool, int, float, str, list, dict)
+
+finite_floats = st.floats(allow_nan=False, allow_infinity=False)
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**60), max_value=2**60),
+    finite_floats,
+    st.text(max_size=8),
+    st.sampled_from([Mode.A, Mode.B]),
+    st.integers(-1000, 1000).map(np.int32),
+    st.integers(-(2**40), 2**40).map(np.int64),
+    finite_floats.map(np.float64),
+    st.booleans().map(np.bool_),
+    st.text(max_size=4).map(np.str_),
+    st.lists(finite_floats, max_size=4).map(np.asarray),
+    st.lists(st.integers(-9, 9), max_size=4).map(
+        lambda xs: np.asarray(xs, dtype=np.int64)
+    ),
+)
+
+payloads = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.tuples(children, children),
+        st.dictionaries(st.text(max_size=6), children, max_size=4),
+    ),
+    max_leaves=24,
+)
+
+
+def assert_exact_native(value, path="root"):
+    """Every node is an EXACT base JSON type — subclasses don't count."""
+    if value is None:
+        return
+    t = type(value)
+    assert t in _NATIVE, f"{path}: {t.__name__} is not an exact native type"
+    if t is list:
+        for i, item in enumerate(value):
+            assert_exact_native(item, f"{path}[{i}]")
+    elif t is dict:
+        for k, item in value.items():
+            assert type(k) is str, f"{path}: non-str key {k!r}"
+            assert_exact_native(item, f"{path}.{k}")
+
+
+def type_shape(value):
+    """Value with every node tagged by its exact type (deep equality on
+    this catches int-vs-float and subclass drift that ``==`` forgives)."""
+    if isinstance(value, list):
+        return [type_shape(v) for v in value]
+    if isinstance(value, dict):
+        return {k: type_shape(v) for k, v in value.items()}
+    return (type(value).__name__, value)
+
+
+@given(payload=payloads)
+@settings(deadline=None, max_examples=200)
+def test_canonical_form_is_exact_native_types(payload):
+    assert_exact_native(canonical_extras(payload))
+
+
+@given(payload=payloads)
+@settings(deadline=None, max_examples=200)
+def test_canonicalization_is_idempotent(payload):
+    once = canonical_extras(payload)
+    twice = canonical_extras(once)
+    assert type_shape(twice) == type_shape(once)
+
+
+@given(payload=payloads)
+@settings(deadline=None, max_examples=200)
+def test_json_text_round_trip_preserves_value_and_type(payload):
+    canon = canonical_extras(payload)
+    back = json.loads(json.dumps(canon))
+    assert type_shape(back) == type_shape(canon)
+
+
+def test_int_enum_coerced_to_plain_int():
+    # The asymmetry this suite was written to pin down: an IntEnum passed
+    # isinstance(int) untouched, so the fresh payload carried the enum
+    # while its decoded-from-cache twin carried a plain int.
+    out = canonical_extras({"mode": Mode.B})
+    assert type(out["mode"]) is int
+    assert out["mode"] == 3
+
+
+def test_numpy_str_coerced_to_plain_str():
+    out = canonical_extras(np.str_("adaptive"))
+    assert type(out) is str
+    assert out == "adaptive"
+
+
+def test_numpy_scalars_and_arrays_coerced():
+    out = canonical_extras(
+        {
+            "i": np.int64(7),
+            "f": np.float64(1.5),
+            "b": np.bool_(True),
+            "a": np.arange(3, dtype=np.int32),
+            "nested": (np.float32(0.25), [np.uint8(9)]),
+        }
+    )
+    assert type_shape(out) == type_shape(
+        {"i": 7, "f": 1.5, "b": True, "a": [0, 1, 2], "nested": [0.25, [9]]}
+    )
+
+
+@pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+def test_non_finite_floats_rejected_with_path(bad):
+    with pytest.raises(ValueError, match=r"extras\.x\[0\]"):
+        canonical_extras({"x": [bad]})
+
+
+def test_non_string_keys_rejected_with_path():
+    with pytest.raises(TypeError, match=r"extras\.outer"):
+        canonical_extras({"outer": {3: "v"}})
+
+
+def test_unencodable_type_rejected_with_path():
+    with pytest.raises(TypeError, match=r"extras\.s"):
+        canonical_extras({"s": {1, 2}})

@@ -41,6 +41,7 @@ from repro.check.differential import (
     differential_points,
 )
 from repro.model.torus import TorusShape
+from repro.runner.supervise import PointTimeoutError, watchdog
 from repro.net.errors import PartitionedNetworkError
 from repro.net.faults import FaultPlan
 from repro.strategies import (
@@ -358,19 +359,27 @@ def shrink(
     bands: Optional[ToleranceBands] = None,
     check: Optional[CheckConfig] = None,
     max_evals: int = 48,
+    case_timeout: Optional[float] = None,
 ) -> tuple[FuzzCase, int]:
     """Greedily reduce *case* to a minimal still-failing config.
 
     Returns ``(smallest failing case, evaluations spent)``.  Candidates
     that become valid-and-passing (or invalid) are skipped; the first
-    still-failing candidate restarts the walk from there."""
+    still-failing candidate restarts the walk from there.  With
+    *case_timeout* set, a candidate that hangs past it is skipped like
+    a passing one — the shrinker keeps the last *reproducibly* failing
+    case rather than stalling the whole budget."""
     evals = 0
     while evals < max_evals:
         for candidate in _shrink_candidates(case):
             if candidate == case:
                 continue
             evals += 1
-            report = _run_one(candidate, bands=bands, check=check)
+            try:
+                with watchdog(case_timeout, f"shrink {candidate.spec()}"):
+                    report = _run_one(candidate, bands=bands, check=check)
+            except PointTimeoutError:
+                report = None
             if report is not None and not report.ok:
                 case = candidate
                 break
@@ -475,13 +484,22 @@ def fuzz(
     max_cases: Optional[int] = None,
     jobs: int = 1,
     verbose: bool = False,
+    case_timeout: Optional[float] = 30.0,
 ) -> int:
-    """Time-boxed random sweep; returns a process exit code."""
+    """Time-boxed random sweep; returns a process exit code.
+
+    *case_timeout* bounds the wall clock each sampled case may consume
+    (scaled by batch size when ``jobs > 1`` batches cases together), so
+    one pathological draw — e.g. heavy loss against a tight
+    retransmission timeout — cannot eat the whole budget.  A case
+    skipped on the watchdog is reported with its replay spec and does
+    not fail the run; skips are counted in the final summary."""
     rng = random.Random(seed)
     bands = None  # default_bands(), resolved inside the legs
     check = CheckConfig()
     deadline = time.monotonic() + budget_s
     cases_run = 0
+    skipped = 0
     batch_size = max(1, jobs)
     while time.monotonic() < deadline:
         if max_cases is not None and cases_run >= max_cases:
@@ -489,11 +507,28 @@ def fuzz(
         batch = [sample_case(rng) for _ in range(batch_size)]
         if max_cases is not None:
             batch = batch[: max_cases - cases_run]
+        batch_timeout = case_timeout * len(batch) if case_timeout else None
         try:
-            reports = run_cases(batch, bands=bands, check=check, jobs=jobs)
+            with watchdog(batch_timeout, "fuzz batch"):
+                reports = run_cases(
+                    batch, bands=bands, check=check, jobs=jobs
+                )
         except InvalidCase as exc:
             if verbose:
                 print(f"skip invalid: {exc}")
+            continue
+        except PointTimeoutError:
+            cases_run += len(batch)
+            skipped += len(batch)
+            print(
+                f"TIMEOUT: batch of {len(batch)} case(s) exceeded the "
+                f"{batch_timeout:g}s watchdog; skipped"
+            )
+            for case in batch:
+                print(
+                    "  REPLAY: python -m repro.check.fuzz "
+                    f"--case '{case.spec()}'"
+                )
             continue
         for case, report in zip(batch, reports):
             cases_run += 1
@@ -504,7 +539,9 @@ def fuzz(
             print(f"FAILURE after {cases_run} case(s): {case.spec()}")
             for failure in report.failures:
                 print(f"  - {failure}")
-            small, evals = shrink(case, bands=bands, check=check)
+            small, evals = shrink(
+                case, bands=bands, check=check, case_timeout=case_timeout
+            )
             print(f"shrunk in {evals} evals: {small.spec()}")
             print(
                 "REPRODUCER: python -m repro.check.fuzz "
@@ -512,9 +549,10 @@ def fuzz(
             )
             return 1
     elapsed = budget_s - max(0.0, deadline - time.monotonic())
+    note = f", {skipped} skipped on the watchdog" if skipped else ""
     print(
         f"fuzz clean: {cases_run} case(s) in {elapsed:.1f}s "
-        f"(seed {seed}, all three engines agree)"
+        f"(seed {seed}, all three engines agree{note})"
     )
     return 0
 
@@ -552,6 +590,12 @@ def main(argv: Optional[list] = None) -> int:
         help="simulator legs per pooled batch (default 1, in-process)",
     )
     parser.add_argument(
+        "--case-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="wall-clock watchdog per sampled case (default 30; "
+        "0 disables) — a hung case is skipped and reported with its "
+        "replay spec instead of eating the budget",
+    )
+    parser.add_argument(
         "--case", default=None, metavar="SPEC",
         help="replay one case spec instead of sampling",
     )
@@ -574,6 +618,7 @@ def main(argv: Optional[list] = None) -> int:
         max_cases=args.max_cases,
         jobs=args.jobs,
         verbose=args.verbose,
+        case_timeout=args.case_timeout or None,
     )
 
 

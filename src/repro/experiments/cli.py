@@ -28,6 +28,15 @@ on the invariant-checked network — packet conservation, exactly-once
 delivery, credit non-negativity, stuck-queue audits and per-strategy
 phase invariants raise immediately on violation.  Checked runs bypass
 the result cache in both directions (a cached result was never checked).
+
+Resilience (DESIGN.md section 12): ``--journal PATH`` checkpoints every
+completed point to an append-only JSONL file; after a crash or Ctrl-C,
+``--resume PATH`` preloads the journal and only the missing points
+simulate — the merged results are bit-identical to an uninterrupted run.
+``--point-timeout S`` (or ``REPRO_POINT_TIMEOUT``) bounds each point's
+wall clock; ``--retries N`` bounds reschedules of timed-out/crashed
+points.  ``REPRO_CHAOS=kill:0.1,hang:0.05,seed=0`` injects deterministic
+worker deaths and stalls to exercise the supervision layer.
 """
 
 from __future__ import annotations
@@ -35,6 +44,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import signal
 import sys
 import time
 
@@ -86,6 +96,23 @@ def _print_cache_stats() -> None:
         f"{counters.cache_corrupt} corrupt; "
         f"{counters.simulated} point(s) simulated"
     )
+    if (
+        counters.retries
+        or counters.timeouts
+        or counters.pool_breaks
+        or counters.quarantined
+        or counters.journal_hits
+        or counters.journal_records
+    ):
+        print(
+            "supervision: "
+            f"{counters.retries} retr{'y' if counters.retries == 1 else 'ies'}, "
+            f"{counters.timeouts} timeout(s), "
+            f"{counters.pool_breaks} pool break(s), "
+            f"{counters.quarantined} quarantined; "
+            f"journal {counters.journal_hits} hit(s), "
+            f"{counters.journal_records} record(s)"
+        )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -152,6 +179,38 @@ def main(argv: list[str] | None = None) -> int:
         "(repro.check oracles; bypasses the result cache)",
     )
     runp.add_argument(
+        "--point-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock limit per simulation point (default: "
+        "REPRO_POINT_TIMEOUT env var, else derived from shape/message "
+        "size when supervision is active)",
+    )
+    runp.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="max reschedules of a timed-out or crashed point "
+        "(default 4); deterministic exponential backoff, no jitter",
+    )
+    runp.add_argument(
+        "--journal",
+        metavar="PATH",
+        default=None,
+        help="checkpoint completed points to this append-only JSONL "
+        "journal (flushed per point; survives crashes and Ctrl-C)",
+    )
+    runp.add_argument(
+        "--resume",
+        metavar="PATH",
+        default=None,
+        help="resume from a journal written by --journal: journaled "
+        "points are reused bit-identically, only missing points "
+        "simulate; the journal keeps being appended to",
+    )
+    runp.add_argument(
         "--cache-stats",
         action="store_true",
         help="print cache hit/miss/store/corrupt counters after the run",
@@ -211,19 +270,56 @@ def main(argv: list[str] | None = None) -> int:
 
         chk_ctx = contextlib.nullcontext()
 
-    with ctx as collected, chk_ctx:
-        for eid in ids:
-            t0 = time.time()
-            result = run_experiment(
-                eid, scale=args.scale, seed=args.seed, jobs=args.jobs
+    from repro.runner.supervise import SuperviseConfig, supervising
+
+    sup_overrides: dict = {}
+    if args.point_timeout is not None:
+        sup_overrides["point_timeout_s"] = args.point_timeout
+    if args.retries is not None:
+        sup_overrides["max_attempts"] = args.retries + 1
+    journal_path = args.journal or args.resume
+    if journal_path is not None:
+        sup_overrides["journal"] = journal_path
+    if args.resume is not None:
+        sup_overrides["resume"] = args.resume
+    sup_cfg = SuperviseConfig.from_env(**sup_overrides)
+
+    if journal_path is not None:
+        # A terminated run must still leave a resumable journal: the
+        # journal is flushed per completed point, so converting SIGTERM
+        # into KeyboardInterrupt unwinds through run_sweep's cleanup
+        # (closing the journal) instead of dying mid-state.
+        def _sigterm(signum, frame):  # pragma: no cover - signal path
+            raise KeyboardInterrupt
+
+        signal.signal(signal.SIGTERM, _sigterm)
+
+    try:
+        with ctx as collected, chk_ctx, supervising(sup_cfg):
+            for eid in ids:
+                t0 = time.time()
+                result = run_experiment(
+                    eid, scale=args.scale, seed=args.seed, jobs=args.jobs
+                )
+                print(result.render())
+                print(f"  ({time.time() - t0:.1f}s)\n")
+                if args.provenance and result.provenance is not None:
+                    print(
+                        json.dumps(result.provenance, indent=2, sort_keys=True)
+                    )
+                    print()
+            if obs_on:
+                _write_obs_outputs(collected, args.trace, args.metrics)
+    except KeyboardInterrupt:
+        if journal_path is not None:
+            print(
+                f"\ninterrupted — completed points are checkpointed; "
+                f"resume with: --resume {journal_path}",
+                file=sys.stderr,
             )
-            print(result.render())
-            print(f"  ({time.time() - t0:.1f}s)\n")
-            if args.provenance and result.provenance is not None:
-                print(json.dumps(result.provenance, indent=2, sort_keys=True))
-                print()
-        if obs_on:
-            _write_obs_outputs(collected, args.trace, args.metrics)
+        else:
+            print("\ninterrupted", file=sys.stderr)
+        return 130
     if args.cache_stats:
         _print_cache_stats()
     return 0

@@ -94,6 +94,16 @@ class ExperimentResult:
     #: attached by :func:`repro.experiments.registry.run_experiment`.
     #: ``None`` when a driver is called directly.
     provenance: Optional[dict] = None
+    #: Structured failure records
+    #: (:meth:`repro.runner.supervise.PointFailure.to_dict`) for points
+    #: this experiment could not complete — empty for a full result.
+    #: Attached by :func:`repro.experiments.registry.run_experiment`.
+    failures: list = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        """Whether every simulation point behind this result completed."""
+        return not self.failures
 
     def render(self) -> str:
         """ASCII rendering (what the benchmarks and the CLI print)."""

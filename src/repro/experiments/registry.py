@@ -81,8 +81,12 @@ def run_experiment(
     The record (see :mod:`repro.obs.provenance`) covers exactly the
     simulation points this call executed: runner counters are snapshotted
     before and after the driver, and the delta — point keys, points
-    simulated vs. cached, simulated cycles/events — plus wall time, seed
-    and git state goes into ``result.provenance``.
+    simulated vs. cached, simulated cycles/events, supervision activity
+    (retries, timeouts, quarantines) — plus wall time, seed and git state
+    goes into ``result.provenance``.  Point failures recorded by the
+    supervision layer during this call land on ``result.failures`` (and
+    an ``INCOMPLETE`` note on the rendered table), so a gracefully
+    degraded sweep can never masquerade as a complete reproduction.
     """
     from repro.experiments.common import resolve_scale
     from repro.obs.provenance import provenance_record
@@ -99,6 +103,8 @@ def run_experiment(
     after = counters.snapshot()
     new_keys = after["point_keys"][len(before["point_keys"]):]
     simulated = after["simulated"] - before["simulated"]
+    new_failures = after["failures"][len(before["failures"]):]
+    result.failures = new_failures
     result.provenance = provenance_record(
         schema_version=SCHEMA_VERSION,
         seed=seed,
@@ -109,7 +115,26 @@ def run_experiment(
         simulated_events=after["sim_events"] - before["sim_events"],
         points_simulated=simulated,
         points_cached=len(new_keys) - simulated,
+        retries=after["retries"] - before["retries"],
+        timeouts=after["timeouts"] - before["timeouts"],
+        quarantined=after["quarantined"] - before["quarantined"],
+        points_failed=len(new_failures),
     )
+    if new_failures:
+        kinds: dict[str, int] = {}
+        for f in new_failures:
+            kinds[f.get("kind", "error")] = kinds.get(f.get("kind", "error"), 0) + 1
+        summary = ", ".join(f"{n} {k}" for k, n in sorted(kinds.items()))
+        result.notes.append(
+            f"INCOMPLETE: {len(new_failures)} point(s) failed ({summary}); "
+            "rows derived from missing points are absent or partial"
+        )
+        log.warning(
+            "%s incomplete: %d point(s) failed (%s)",
+            exp_id,
+            len(new_failures),
+            summary,
+        )
     log.info(
         "%s done in %.2fs: %d point(s), %d simulated, %d from cache",
         exp_id,

@@ -26,12 +26,16 @@ PROVENANCE_VERSION = 1
 
 @lru_cache(maxsize=1)
 def git_describe() -> str:
-    """``git describe --always --dirty`` of the repo, or ``"unknown"``.
+    """``git describe --always --dirty`` of the repo, or a sentinel.
 
     Runs in the directory holding this package (not the caller's cwd),
     so the revision describes the code that actually executed.  Cached
-    per process; failures (no git, not a checkout) degrade to the
-    sentinel rather than raising — provenance must never fail a run.
+    per process; failures degrade to a sentinel rather than raising —
+    provenance must never fail a run.  The sentinels distinguish the
+    two failure families: ``"unavailable"`` means git itself could not
+    answer (the binary is missing, or the 5-second subprocess timeout
+    fired on a wedged object store); ``"unknown"`` means git ran but
+    had nothing to say (not a checkout, empty output).
     """
     try:
         out = subprocess.run(
@@ -41,8 +45,10 @@ def git_describe() -> str:
             timeout=5,
             cwd=Path(__file__).resolve().parent,
         )
-    except (OSError, subprocess.SubprocessError):
-        return "unknown"
+    except (OSError, subprocess.TimeoutExpired):
+        return "unavailable"
+    except subprocess.SubprocessError:
+        return "unavailable"
     if out.returncode != 0:
         return "unknown"
     return out.stdout.strip() or "unknown"
@@ -74,8 +80,20 @@ def provenance_record(
     simulated_events: int,
     points_simulated: int,
     points_cached: int,
+    retries: int = 0,
+    timeouts: int = 0,
+    quarantined: int = 0,
+    points_failed: int = 0,
 ) -> dict:
-    """Build the provenance dict attached to an experiment result."""
+    """Build the provenance dict attached to an experiment result.
+
+    The supervision counters (``retries``/``timeouts``/``quarantined``/
+    ``points_failed``) record how bumpy the road to this result was: a
+    record with nonzero ``points_failed`` describes a *partial* result,
+    and nonzero retries mean the numbers were reproduced only after
+    rescheduling (still bit-identical — retried points re-execute the
+    same deterministic simulation).
+    """
     return {
         "provenance_version": PROVENANCE_VERSION,
         "schema_version": schema_version,
@@ -87,6 +105,10 @@ def provenance_record(
         "points": len(point_keys),
         "points_simulated": points_simulated,
         "points_cached": points_cached,
+        "points_failed": points_failed,
+        "retries": retries,
+        "timeouts": timeouts,
+        "quarantined": quarantined,
         "wall_s": round(wall_s, 4),
         "simulated_cycles": simulated_cycles,
         "simulated_events": simulated_events,

@@ -26,23 +26,51 @@ from repro.runner.pool import (
     run_grid,
     run_point,
     run_points,
+    run_sweep,
+)
+from repro.runner.supervise import (
+    ChaosPlan,
+    PointFailure,
+    PointTimeoutError,
+    SuperviseConfig,
+    SweepIncompleteError,
+    SweepJournal,
+    SweepResult,
+    active_supervision,
+    derive_timeout,
+    resolve_supervision,
+    supervising,
+    watchdog,
 )
 
 __all__ = [
     "SCHEMA_VERSION",
+    "ChaosPlan",
+    "PointFailure",
+    "PointTimeoutError",
     "RunnerCounters",
     "SimPoint",
+    "SuperviseConfig",
+    "SweepIncompleteError",
+    "SweepJournal",
+    "SweepResult",
+    "active_supervision",
     "cache_enabled",
     "cache_root",
     "canonical_extras",
     "counters",
     "decode_run",
+    "derive_timeout",
     "encode_run",
     "point_fingerprint",
     "point_key",
     "point_label",
     "resolve_jobs",
+    "resolve_supervision",
     "run_grid",
     "run_point",
     "run_points",
+    "run_sweep",
+    "supervising",
+    "watchdog",
 ]

@@ -73,8 +73,13 @@ def cache_get(key: str) -> Optional[dict]:
     A *corrupt* entry (the file exists but is not valid JSON, e.g. a
     truncated write from a killed process) also counts as a miss — the
     result is recomputed and the entry rewritten — but unlike a plain
-    miss it logs a warning naming the offending file and is counted
-    separately, so silent cache rot is visible in ``--cache-stats``.
+    miss it logs a warning naming the offending file, is counted
+    separately (so silent cache rot is visible in ``--cache-stats``),
+    and the file is *quarantined*: renamed to ``<key>.corrupt`` so the
+    same rotten bytes are never re-parsed on every subsequent run and
+    the evidence survives for inspection.  A second corrupt file under
+    the same key overwrites the first quarantine (the newest evidence
+    wins).
     """
     global _corrupt_count
     if not cache_enabled():
@@ -85,8 +90,17 @@ def cache_get(key: str) -> Optional[dict]:
             return json.load(fh)
     except ValueError as exc:
         _corrupt_count += 1
+        quarantine = path.with_name(f"{key}.corrupt")
+        try:
+            os.replace(path, quarantine)
+            where = f"quarantined to {quarantine}"
+        except OSError as rename_exc:  # pragma: no cover - exotic fs
+            where = f"could not quarantine: {rename_exc}"
         _log.warning(
-            "corrupt cache entry %s (%s); treating as a miss", path, exc
+            "corrupt cache entry %s (%s); treating as a miss, %s",
+            path,
+            exc,
+            where,
         )
         return None
     except OSError:

@@ -36,3 +36,16 @@ class SimPoint:
     config: Optional[NetworkConfig] = None
     seed: int = 0
     faults: Optional[FaultPlan] = None
+
+    @property
+    def cost_hint(self) -> float:
+        """Relative wall-clock cost estimate: total bytes exchanged.
+
+        An all-to-all moves ``nnodes * (nnodes - 1) * msg_bytes`` payload
+        bytes, which is what the event count (and hence simulation wall
+        time) tracks to first order.  The supervision layer derives
+        default per-point timeouts from this; it feeds nothing that
+        affects results or cache keys.
+        """
+        n = self.shape.nnodes
+        return float(n * n * max(self.msg_bytes, 1))

@@ -1,4 +1,4 @@
-"""Parallel, cached execution of independent simulation points.
+"""Parallel, cached, supervised execution of independent simulation points.
 
 :func:`run_points` is the one entry point every experiment driver uses.
 Guarantees:
@@ -6,9 +6,20 @@ Guarantees:
 * **Deterministic order** — results come back in input order, always.
 * **Bit-identical parallelism** — each point is an independent simulation
   with its own seed; ``jobs=4`` returns exactly what ``jobs=1`` returns.
-* **Bit-identical caching** — every result (fresh, pooled or cached) goes
-  through one canonical JSON encode/decode cycle, so where a result came
-  from is unobservable downstream.
+* **Bit-identical caching** — every result (fresh, pooled, cached,
+  journaled or retried) goes through one canonical JSON encode/decode
+  cycle, so where a result came from is unobservable downstream.
+* **Resilience** — pooled execution runs under the supervision layer
+  (:mod:`repro.runner.supervise`): per-point wall-clock timeouts,
+  bounded deterministic retries, ``BrokenProcessPool`` recovery with
+  per-point quarantine, and an append-only checkpoint journal for
+  ``--resume``.  :func:`run_sweep` returns a
+  :class:`~repro.runner.supervise.SweepResult` carrying completed runs
+  plus structured failures; :func:`run_points` keeps the historical
+  list-returning contract (deterministic simulation errors re-raise
+  unchanged, resource failures raise
+  :class:`~repro.runner.supervise.SweepIncompleteError` — which still
+  carries the partial results).
 
 Job-count resolution: explicit ``jobs`` argument, else the ``REPRO_JOBS``
 environment variable, else 1 (sequential, in-process).  ``jobs=0`` or a
@@ -19,23 +30,24 @@ one is active via :func:`repro.obs.context.observe`, which is how the CLI
 flags work), every point runs on the instrumented network and its
 trace/metrics payload — already JSON-native from the canonical codec — is
 deposited into the active collector in input order.  Observed runs bypass
-the cache entirely, in both directions: an instrumented result never
-pollutes the cache (its extras would break cached-vs-fresh identity for
-normal runs) and never gets served from it (a cached entry has no trace).
+the cache *and the journal* entirely, in both directions: an instrumented
+result never pollutes them (its extras would break replayed-vs-fresh
+identity for normal runs) and never gets served from them (a stored entry
+has no trace).  The same holds for checked runs (a stored result was
+produced without the oracles watching).
 
 The module-level :data:`counters` record how many points were actually
-simulated vs. served from cache (plus misses, stores, corrupt entries,
-simulated cycles/events and the executed point keys for provenance) —
-tests assert on them, and the CLI reports them.
+simulated vs. served from cache or journal (plus retries, timeouts, pool
+breaks, quarantines, corrupt entries, simulated cycles/events and the
+executed point keys for provenance) — tests assert on them, and the CLI
+reports them.
 """
 
 from __future__ import annotations
 
 import logging
 import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from itertools import repeat
 from typing import Iterable, Optional, Sequence
 
 from repro.api import AllToAllRun, simulate_alltoall
@@ -46,6 +58,13 @@ from repro.obs.context import active_config, collect
 from repro.runner.cache import cache_get, cache_put, pop_corrupt_count
 from repro.runner.codec import decode_run, encode_run, point_key
 from repro.runner.point import SimPoint
+from repro.runner.supervise import (
+    SuperviseConfig,
+    SweepJournal,
+    SweepResult,
+    execute_supervised,
+    resolve_supervision,
+)
 
 _log = logging.getLogger("repro.runner.pool")
 
@@ -59,12 +78,25 @@ class RunnerCounters:
     cache_misses: int = 0
     cache_stores: int = 0
     cache_corrupt: int = 0
+    #: Supervision layer: reschedules, attempt timeouts, worker-pool
+    #: breaks, quarantined points, journal reads/writes.
+    retries: int = 0
+    timeouts: int = 0
+    pool_breaks: int = 0
+    quarantined: int = 0
+    journal_hits: int = 0
+    journal_records: int = 0
     #: Simulated-time and event totals over freshly executed points.
     sim_cycles: float = 0.0
     sim_events: int = 0
     #: Cache keys of every point executed (hit or fresh), in order —
     #: the provenance config fingerprint hashes these.
     point_keys: list = field(default_factory=list)
+    #: Structured failure dicts
+    #: (:meth:`~repro.runner.supervise.PointFailure.to_dict`) from every
+    #: supervised sweep, in completion order — the experiment registry
+    #: threads these onto :class:`ExperimentResult.failures`.
+    failures: list = field(default_factory=list)
 
     def reset(self) -> None:
         self.simulated = 0
@@ -72,9 +104,16 @@ class RunnerCounters:
         self.cache_misses = 0
         self.cache_stores = 0
         self.cache_corrupt = 0
+        self.retries = 0
+        self.timeouts = 0
+        self.pool_breaks = 0
+        self.quarantined = 0
+        self.journal_hits = 0
+        self.journal_records = 0
         self.sim_cycles = 0.0
         self.sim_events = 0
         self.point_keys = []
+        self.failures = []
 
     def snapshot(self) -> dict:
         """Plain-dict copy (for deltas around an experiment run)."""
@@ -84,9 +123,16 @@ class RunnerCounters:
             "cache_misses": self.cache_misses,
             "cache_stores": self.cache_stores,
             "cache_corrupt": self.cache_corrupt,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "pool_breaks": self.pool_breaks,
+            "quarantined": self.quarantined,
+            "journal_hits": self.journal_hits,
+            "journal_records": self.journal_records,
             "sim_cycles": self.sim_cycles,
             "sim_events": self.sim_events,
             "point_keys": list(self.point_keys),
+            "failures": list(self.failures),
         }
 
 
@@ -130,11 +176,12 @@ def _simulate_encoded(
     """Worker body: run one point and return the canonical payload.
 
     Returning the *encoded* form does double duty — it is what crosses the
-    process boundary and what lands in the cache, so both paths are the
-    same bytes by construction.  With *obs* enabled the payload also
-    carries ``result.extras["obs"]`` (trace + metrics), which the parent
-    harvests into the active collector.  With *check* enabled the point
-    runs on the oracle-checked network (same decisions, same payload).
+    process boundary and what lands in the cache and the journal, so all
+    paths are the same bytes by construction.  With *obs* enabled the
+    payload also carries ``result.extras["obs"]`` (trace + metrics), which
+    the parent harvests into the active collector.  With *check* enabled
+    the point runs on the oracle-checked network (same decisions, same
+    payload).
     """
     run = simulate_alltoall(
         point.strategy,
@@ -155,23 +202,42 @@ def run_point(point: SimPoint) -> AllToAllRun:
     return run_points([point])[0]
 
 
-def run_points(
+def _count_event(kind: str, task) -> None:
+    """Fold supervision transitions into the process-wide counters."""
+    if kind == "retry":
+        counters.retries += 1
+    elif kind == "timeout":
+        counters.timeouts += 1
+    elif kind == "pool_break":
+        counters.pool_breaks += 1
+    elif kind == "quarantined":
+        counters.quarantined += 1
+
+
+def run_sweep(
     points: Sequence[SimPoint],
     jobs: Optional[int] = None,
     obs: Optional[ObsConfig] = None,
     check: Optional[CheckConfig] = None,
-) -> list[AllToAllRun]:
-    """Execute *points*, in parallel when ``jobs > 1``, through the cache.
+    supervise: Optional[SuperviseConfig] = None,
+    graceful: bool = True,
+) -> SweepResult:
+    """Execute *points* under supervision and report everything.
 
-    Returns one :class:`AllToAllRun` per point, in input order.  *obs*
-    defaults to the process-wide config activated by
-    :func:`repro.obs.context.observe`; an enabled config runs every point
-    instrumented and bypasses the cache (see module docstring).  *check*
-    likewise defaults to the config activated by
-    :func:`repro.check.context.checking`; an enabled config runs every
-    point on the oracle-checked network and also bypasses the cache in
-    both directions — a cached result was produced without the oracles
-    watching, so replaying it would silently skip verification.
+    Returns a :class:`~repro.runner.supervise.SweepResult`: one
+    :class:`AllToAllRun` per point in input order (``None`` where a point
+    ultimately failed) plus a structured ``failures`` list.  With
+    ``graceful=True`` (the default here) nothing short of the process
+    dying raises — a deterministic simulation error becomes a failure
+    record like a crash or a timeout does.  ``graceful=False`` restores
+    the historical fail-fast contract for :func:`run_points`.
+
+    *supervise* defaults to the config activated via
+    :func:`~repro.runner.supervise.supervising` (how the CLI flags work),
+    else one resolved from ``REPRO_POINT_TIMEOUT`` / ``REPRO_CHAOS``.
+    *obs* and *check* default to their own process-wide contexts; an
+    enabled config bypasses the cache **and** the journal in both
+    directions (see module docstring).
     """
     points = list(points)
     if obs is None:
@@ -181,63 +247,193 @@ def run_points(
         check = active_check()
     checked = check is not None and check.enabled
     bypass = observed or checked
+    cfg = resolve_supervision(supervise)
 
     keys = [point_key(p) for p in points]
+    labels = [point_label(p) for p in points]
     counters.point_keys.extend(keys)
+    payloads: list[Optional[dict]] = [None] * len(points)
+
+    journal_hits = 0
+    if cfg.resume is not None and not bypass:
+        resumed = SweepJournal.load(cfg.resume)
+        for i, k in enumerate(keys):
+            got = resumed.get(k)
+            if got is not None:
+                payloads[i] = got
+                journal_hits += 1
+        counters.journal_hits += journal_hits
+
     if bypass:
-        payloads: list[Optional[dict]] = [None] * len(points)
         misses = list(range(len(points)))
     else:
-        payloads = [cache_get(k) for k in keys]
+        for i, k in enumerate(keys):
+            if payloads[i] is None:
+                payloads[i] = cache_get(k)
         misses = [i for i, p in enumerate(payloads) if p is None]
-        counters.cache_hits += len(points) - len(misses)
+        counters.cache_hits += len(points) - len(misses) - journal_hits
         counters.cache_misses += len(misses)
         counters.cache_corrupt += pop_corrupt_count()
 
     jobs = resolve_jobs(jobs)
     _log.info(
-        "sweep: %d point(s), %d to simulate, jobs=%d%s",
+        "sweep: %d point(s), %d to simulate, jobs=%d%s%s",
         len(points),
         len(misses),
         jobs,
-        " [observed/checked, cache bypassed]" if bypass else "",
+        " [observed/checked, cache+journal bypassed]" if bypass else "",
+        " [supervised]" if (cfg.is_active or graceful) else "",
     )
-    if misses:
-        todo = [points[i] for i in misses]
-        if jobs > 1 and len(todo) > 1:
-            with ProcessPoolExecutor(
-                max_workers=min(jobs, len(todo))
-            ) as pool:
-                fresh = list(
-                    pool.map(
-                        _simulate_encoded, todo, repeat(obs), repeat(check)
-                    )
+
+    journal: Optional[SweepJournal] = None
+    failures = []
+    try:
+        if cfg.journal is not None and not bypass:
+            journal = SweepJournal(cfg.journal).open_append()
+            # Make the journal self-contained: completions served from
+            # the cache or a previous journal checkpoint this run are
+            # (idempotently) recorded too.
+            for i, payload in enumerate(payloads):
+                if payload is not None and journal.record(keys[i], payload):
+                    counters.journal_records += 1
+
+        if misses:
+            todo = [
+                (i, points[i], keys[i], labels[i]) for i in misses
+            ]
+
+            def _on_complete(task, payload) -> None:
+                counters.simulated += 1
+                result = payload["result"]
+                counters.sim_cycles += result["time_cycles"]
+                counters.sim_events += result["events_processed"]
+                _log.debug(
+                    "simulated %s: %.0f cycles, %d events",
+                    task.label,
+                    result["time_cycles"],
+                    result["events_processed"],
                 )
-        else:
-            fresh = [_simulate_encoded(p, obs, check) for p in todo]
-        counters.simulated += len(todo)
-        for i, payload in zip(misses, fresh):
-            result = payload["result"]
-            counters.sim_cycles += result["time_cycles"]
-            counters.sim_events += result["events_processed"]
-            _log.debug(
-                "simulated %s: %.0f cycles, %d events",
-                point_label(points[i]),
-                result["time_cycles"],
-                result["events_processed"],
-            )
-            if not bypass:
-                if cache_put(keys[i], payload):
-                    counters.cache_stores += 1
-            payloads[i] = payload
+                if not bypass:
+                    if cache_put(task.key, payload):
+                        counters.cache_stores += 1
+                    if journal is not None and journal.record(
+                        task.key, payload
+                    ):
+                        counters.journal_records += 1
+
+            if jobs > 1 and len(todo) > 1:
+                fresh, failures = execute_supervised(
+                    todo,
+                    jobs,
+                    cfg,
+                    obs,
+                    check,
+                    on_complete=_on_complete,
+                    on_event=_count_event,
+                    strict_errors=not graceful,
+                )
+            elif cfg.is_active or graceful:
+                fresh, failures = execute_supervised(
+                    todo,
+                    1,
+                    cfg,
+                    obs,
+                    check,
+                    on_complete=_on_complete,
+                    on_event=_count_event,
+                    strict_errors=not graceful,
+                )
+            else:
+                # Plain sequential fast path: no supervision requested,
+                # zero overhead, exceptions propagate untouched.
+                fresh = {}
+                for i, point, key, label in todo:
+                    payload = _simulate_encoded(point, obs, check)
+                    counters.simulated += 1
+                    result = payload["result"]
+                    counters.sim_cycles += result["time_cycles"]
+                    counters.sim_events += result["events_processed"]
+                    if not bypass:
+                        if cache_put(key, payload):
+                            counters.cache_stores += 1
+                    fresh[i] = payload
+                failures = []
+            for i, payload in fresh.items():
+                payloads[i] = payload
+    finally:
+        if journal is not None:
+            journal.close()
+
+    counters.failures.extend(f.to_dict() for f in failures)
     if observed:
         # Harvest per-point observability payloads in input order, so a
         # jobs=4 sweep collects exactly what a jobs=1 sweep does.
         for point, payload in zip(points, payloads):
+            if payload is None:
+                continue
             obs_payload = payload["result"]["extras"].get("obs")
             if obs_payload is not None:
                 collect(point_label(point), obs_payload)
-    return [decode_run(p) for p in payloads]
+        _collect_supervision_metrics(obs, failures)
+    runs = [decode_run(p) if p is not None else None for p in payloads]
+    return SweepResult(runs=runs, failures=failures)
+
+
+def _collect_supervision_metrics(obs: ObsConfig, failures: list) -> None:
+    """Contribute the sweep supervisor's counters to an active metrics
+    collection — but only when something actually happened, so healthy
+    sweeps keep their golden traces byte-identical."""
+    if not obs.metrics:
+        return
+    eventful = (
+        counters.retries
+        or counters.timeouts
+        or counters.pool_breaks
+        or counters.quarantined
+        or counters.journal_hits
+        or counters.journal_records
+        or failures
+    )
+    if not eventful:
+        return
+    from repro.obs.metrics import MetricsRegistry
+
+    reg = MetricsRegistry()
+    reg.counter("runner.retries").inc(counters.retries)
+    reg.counter("runner.timeouts").inc(counters.timeouts)
+    reg.counter("runner.pool_breaks").inc(counters.pool_breaks)
+    reg.counter("runner.quarantined").inc(counters.quarantined)
+    reg.counter("runner.journal_hits").inc(counters.journal_hits)
+    reg.counter("runner.journal_records").inc(counters.journal_records)
+    reg.counter("runner.failed_points").inc(len(failures))
+    collect("sweep:supervisor", {"metrics": reg.to_dict()})
+
+
+def run_points(
+    points: Sequence[SimPoint],
+    jobs: Optional[int] = None,
+    obs: Optional[ObsConfig] = None,
+    check: Optional[CheckConfig] = None,
+    supervise: Optional[SuperviseConfig] = None,
+) -> list[AllToAllRun]:
+    """Execute *points*, in parallel when ``jobs > 1``, through the cache.
+
+    Returns one :class:`AllToAllRun` per point, in input order.  Runs
+    under the supervision layer (see :func:`run_sweep`) in fail-fast
+    mode: deterministic simulation errors re-raise unchanged; points
+    still missing after timeouts/retries/quarantine raise
+    :class:`~repro.runner.supervise.SweepIncompleteError`, which carries
+    the partial :class:`~repro.runner.supervise.SweepResult` (completed
+    runs + structured failures) so a caller can still salvage the sweep.
+    """
+    return run_sweep(
+        points,
+        jobs=jobs,
+        obs=obs,
+        check=check,
+        supervise=supervise,
+        graceful=False,
+    ).require()
 
 
 def run_grid(

@@ -170,3 +170,58 @@ class TestShrinker:
         case = FuzzCase.parse("AR@2x2/m8/s0")
         small, evals = shrink(case, max_evals=4)
         assert evals <= 4
+
+
+class TestCaseWatchdog:
+    def test_hung_batch_is_skipped_with_replay_spec(
+        self, capsys, monkeypatch
+    ):
+        import time as _time
+
+        import repro.check.fuzz as fuzz_mod
+
+        def wedged(cases, bands=None, check=None, jobs=1):
+            _time.sleep(60)
+
+        monkeypatch.setattr(fuzz_mod, "run_cases", wedged)
+        rc = fuzz_mod.fuzz(
+            budget_s=30.0, seed=0, max_cases=1, jobs=1, case_timeout=0.2
+        )
+        out = capsys.readouterr().out
+        # A hung case must not fail the run — it is skipped and reported
+        # with its exact replay command.
+        assert rc == 0
+        assert "TIMEOUT" in out
+        assert "REPLAY: python -m repro.check.fuzz --case '" in out
+        assert "1 skipped on the watchdog" in out
+        # The printed spec round-trips through the grammar.
+        replay_line = next(
+            l for l in out.splitlines() if l.strip().startswith("REPLAY:")
+        )
+        spec = replay_line.split("--case ")[1].strip().strip("'")
+        FuzzCase.parse(spec)
+
+    def test_hung_shrink_candidate_is_skipped(self, monkeypatch):
+        import time as _time
+
+        import repro.check.fuzz as fuzz_mod
+
+        def wedged(case, bands=None, check=None):
+            _time.sleep(60)
+
+        monkeypatch.setattr(fuzz_mod, "_run_one", wedged)
+        case = FuzzCase.parse("AR@4x4/m64/s1")
+        t0 = _time.monotonic()
+        small, evals = shrink(case, max_evals=3, case_timeout=0.2)
+        # Every candidate hung -> every candidate skipped -> the original
+        # case survives, and the walk stays time-bounded.
+        assert small == case
+        assert evals == 3
+        assert _time.monotonic() - t0 < 30
+
+    def test_zero_disables_the_watchdog(self, capsys):
+        from repro.check.fuzz import main
+
+        # --case-timeout 0 must parse and run a tiny clean sweep.
+        assert main(["--max-cases", "2", "--case-timeout", "0"]) == 0
+        assert "fuzz clean" in capsys.readouterr().out

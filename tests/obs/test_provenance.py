@@ -68,6 +68,32 @@ class TestProvenance:
         assert git_describe()
         assert isinstance(git_describe(), str)
 
+    def test_git_describe_degrades_when_git_is_missing(self, monkeypatch):
+        import subprocess
+
+        def no_git(*args, **kwargs):
+            raise FileNotFoundError("git")
+
+        monkeypatch.setattr(subprocess, "run", no_git)
+        git_describe.cache_clear()
+        try:
+            assert git_describe() == "unavailable"
+        finally:
+            git_describe.cache_clear()
+
+    def test_git_describe_degrades_on_timeout(self, monkeypatch):
+        import subprocess
+
+        def wedged(cmd, **kwargs):
+            raise subprocess.TimeoutExpired(cmd, kwargs.get("timeout", 5))
+
+        monkeypatch.setattr(subprocess, "run", wedged)
+        git_describe.cache_clear()
+        try:
+            assert git_describe() == "unavailable"
+        finally:
+            git_describe.cache_clear()
+
     def test_record_is_json_native(self):
         rec = provenance_record(
             schema_version=1,
@@ -84,6 +110,32 @@ class TestProvenance:
         assert rec["points"] == 2
         assert rec["seed"] == 3
         assert rec["wall_s"] == 1.2346
+        # Supervision counters default to a clean, complete run.
+        assert rec["points_failed"] == 0
+        assert rec["retries"] == 0
+        assert rec["timeouts"] == 0
+        assert rec["quarantined"] == 0
+
+    def test_record_carries_supervision_counters(self):
+        rec = provenance_record(
+            schema_version=1,
+            seed=0,
+            scale="tiny",
+            point_keys=["a"],
+            wall_s=0.1,
+            simulated_cycles=1.0,
+            simulated_events=1,
+            points_simulated=1,
+            points_cached=0,
+            retries=3,
+            timeouts=2,
+            quarantined=1,
+            points_failed=1,
+        )
+        assert rec["retries"] == 3
+        assert rec["timeouts"] == 2
+        assert rec["quarantined"] == 1
+        assert rec["points_failed"] == 1
 
     def test_run_experiment_attaches_provenance(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))

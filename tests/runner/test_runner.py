@@ -192,6 +192,29 @@ class TestPool:
             "corrupt cache entry" in m and str(entry) in m for m in messages
         )
 
+    def test_corrupt_entry_is_quarantined_and_recomputed(self):
+        from repro.runner import cache_root
+
+        p = _point()
+        run_point(p)
+        entry = next(cache_root().rglob("*.json"))
+        entry.write_text("{rotten")
+        counters.reset()
+        run_point(p)
+        assert counters.simulated == 1
+        assert counters.cache_corrupt == 1
+        # The rotten bytes moved aside as evidence...
+        quarantine = entry.with_name(entry.name.replace(".json", ".corrupt"))
+        assert quarantine.exists()
+        assert quarantine.read_text() == "{rotten"
+        # ...and the entry was rewritten, so the next run is a clean hit
+        # that never re-parses the corrupt file.
+        counters.reset()
+        run_point(p)
+        assert counters.cache_hits == 1
+        assert counters.cache_corrupt == 0
+        assert counters.simulated == 0
+
     def test_cache_stats_counters(self):
         pts = [_point(msg_bytes=m) for m in (32, 64)]
         run_points(pts)

@@ -1,0 +1,430 @@
+"""Supervision layer: watchdog, chaos, retries, journal, run_sweep."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.model.torus import TorusShape
+from repro.runner import (
+    SimPoint,
+    counters,
+    encode_run,
+    point_key,
+    run_points,
+    run_sweep,
+)
+from repro.runner.supervise import (
+    ChaosPlan,
+    PointTimeoutError,
+    SuperviseConfig,
+    SweepIncompleteError,
+    SweepJournal,
+    active_supervision,
+    derive_timeout,
+    resolve_supervision,
+    supervising,
+    watchdog,
+)
+from repro.strategies import ARDirect, DRDirect
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    monkeypatch.delenv("REPRO_CHAOS", raising=False)
+    monkeypatch.delenv("REPRO_POINT_TIMEOUT", raising=False)
+    counters.reset()
+    yield
+    counters.reset()
+
+
+def _points(n=3):
+    return [
+        SimPoint(
+            strategy=ARDirect() if i % 2 == 0 else DRDirect(),
+            shape=TorusShape.parse("2x2"),
+            msg_bytes=16 + 16 * i,
+            seed=1,
+        )
+        for i in range(n)
+    ]
+
+
+def _bits(runs):
+    return [json.dumps(encode_run(r), sort_keys=True) for r in runs]
+
+
+class TestChaosPlan:
+    def test_parse_full_spec(self):
+        plan = ChaosPlan.parse("kill:0.05,hang:0.02,seed=3,hang_s:9")
+        assert plan.kill_prob == 0.05
+        assert plan.hang_prob == 0.02
+        assert plan.seed == 3
+        assert plan.hang_s == 9.0
+        assert plan.enabled
+
+    def test_separators_interchangeable(self):
+        assert ChaosPlan.parse("kill=0.1") == ChaosPlan.parse("kill:0.1")
+
+    def test_bad_field_and_value_raise(self):
+        with pytest.raises(ValueError, match="unknown chaos field"):
+            ChaosPlan.parse("explode:0.5")
+        with pytest.raises(ValueError, match="bad chaos value"):
+            ChaosPlan.parse("kill:lots")
+        with pytest.raises(ValueError, match="name:value"):
+            ChaosPlan.parse("kill")
+
+    def test_probability_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            ChaosPlan(kill_prob=1.5)
+        with pytest.raises(ValueError):
+            ChaosPlan(hang_prob=-0.1)
+
+    def test_disabled_by_default(self):
+        assert not ChaosPlan().enabled
+
+    def test_decide_is_deterministic_and_rerolls_per_attempt(self):
+        plan = ChaosPlan(kill_prob=0.5, seed=7)
+        fates1 = [plan.decide(f"k{i}", 1) for i in range(200)]
+        fates2 = [plan.decide(f"k{i}", 1) for i in range(200)]
+        assert fates1 == fates2
+        kills = sum(1 for f in fates1 if f == "kill")
+        assert 60 < kills < 140  # ~0.5 of 200
+        # Retries re-roll: at least one key flips fate across attempts.
+        assert any(
+            plan.decide(f"k{i}", 1) != plan.decide(f"k{i}", 2)
+            for i in range(50)
+        )
+
+    def test_decide_depends_on_seed(self):
+        a = ChaosPlan(kill_prob=0.5, seed=0)
+        b = ChaosPlan(kill_prob=0.5, seed=1)
+        assert any(
+            a.decide(f"k{i}", 1) != b.decide(f"k{i}", 1) for i in range(50)
+        )
+
+
+class TestWatchdog:
+    def test_interrupts_a_sleep(self):
+        t0 = time.monotonic()
+        with pytest.raises(PointTimeoutError, match="wall-clock limit"):
+            with watchdog(0.1, "test sleep"):
+                time.sleep(10)
+        assert time.monotonic() - t0 < 5.0
+
+    def test_noop_without_timeout(self):
+        with watchdog(None):
+            pass
+        with watchdog(0):
+            pass
+
+    def test_fast_block_passes(self):
+        with watchdog(5.0):
+            x = sum(range(100))
+        assert x == 4950
+
+    def test_nested_inner_fires(self):
+        with watchdog(30.0, "outer"):
+            with pytest.raises(PointTimeoutError, match="inner"):
+                with watchdog(0.05, "inner"):
+                    time.sleep(10)
+
+    def test_nested_outer_rearmed_after_inner_exits(self):
+        with pytest.raises(PointTimeoutError, match="outer"):
+            with watchdog(0.2, "outer"):
+                with watchdog(10.0, "inner"):
+                    pass  # inner exits clean; outer must still fire
+                time.sleep(10)
+
+
+class TestConfig:
+    def test_derived_timeout_scales_with_cost(self):
+        small = SimPoint(ARDirect(), TorusShape.parse("2x2"), 16, seed=1)
+        big = SimPoint(ARDirect(), TorusShape.parse("4x4x4"), 4096, seed=1)
+        assert derive_timeout(big) > derive_timeout(small) > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SuperviseConfig(max_attempts=0)
+        with pytest.raises(ValueError):
+            SuperviseConfig(quarantine_strikes=0)
+        with pytest.raises(ValueError):
+            SuperviseConfig(point_timeout_s=0.0)
+        with pytest.raises(ValueError):
+            SuperviseConfig(backoff_factor=0.5)
+
+    def test_backoff_schedule_is_exponential_and_deterministic(self):
+        cfg = SuperviseConfig(backoff_s=0.25, backoff_factor=2.0)
+        assert cfg.backoff_for(2) == 0.25
+        assert cfg.backoff_for(3) == 0.5
+        assert cfg.backoff_for(4) == 1.0
+
+    def test_inactive_config_has_no_timeout(self):
+        cfg = SuperviseConfig()
+        assert not cfg.is_active
+        p = _points(1)[0]
+        assert cfg.timeout_for(p) is None
+
+    def test_explicit_timeout_beats_derived(self):
+        cfg = SuperviseConfig(point_timeout_s=7.0)
+        assert cfg.is_active
+        assert cfg.timeout_for(_points(1)[0]) == 7.0
+
+    def test_active_config_derives_timeout(self, tmp_path):
+        cfg = SuperviseConfig(journal=tmp_path / "j.jsonl")
+        p = _points(1)[0]
+        assert cfg.timeout_for(p) == derive_timeout(p)
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POINT_TIMEOUT", "12.5")
+        monkeypatch.setenv("REPRO_CHAOS", "kill:0.1,seed=4")
+        cfg = SuperviseConfig.from_env()
+        assert cfg.point_timeout_s == 12.5
+        assert cfg.chaos == ChaosPlan(kill_prob=0.1, seed=4)
+        # Explicit overrides win.
+        cfg2 = SuperviseConfig.from_env(point_timeout_s=1.0)
+        assert cfg2.point_timeout_s == 1.0
+
+    def test_from_env_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POINT_TIMEOUT", "soon")
+        with pytest.raises(ValueError, match="REPRO_POINT_TIMEOUT"):
+            SuperviseConfig.from_env()
+
+    def test_supervising_context(self):
+        assert active_supervision() is None
+        cfg = SuperviseConfig(point_timeout_s=5.0)
+        with supervising(cfg):
+            assert active_supervision() is cfg
+            assert resolve_supervision() is cfg
+            explicit = SuperviseConfig(point_timeout_s=1.0)
+            assert resolve_supervision(explicit) is explicit
+        assert active_supervision() is None
+
+
+class TestJournal:
+    def test_roundtrip_and_idempotence(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with SweepJournal(path) as j:
+            assert j.record("k1", {"a": 1})
+            assert j.record("k2", {"b": 2})
+            assert not j.record("k1", {"a": 999})  # idempotent per key
+        loaded = SweepJournal.load(path)
+        assert loaded == {"k1": {"a": 1}, "k2": {"b": 2}}
+
+    def test_reopen_absorbs_existing_keys(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with SweepJournal(path) as j:
+            j.record("k1", {"a": 1})
+        with SweepJournal(path) as j:
+            assert not j.record("k1", {"a": 2})
+            assert j.record("k2", {"b": 2})
+        assert SweepJournal.load(path) == {"k1": {"a": 1}, "k2": {"b": 2}}
+
+    def test_torn_final_line_is_skipped_and_terminated(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with SweepJournal(path) as j:
+            j.record("k1", {"a": 1})
+        # Simulate SIGKILL mid-write: a partial record, no newline.
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"kind":"point","key":"k2","payl')
+        assert SweepJournal.load(path) == {"k1": {"a": 1}}
+        # Appending after the torn write must not splice records.
+        with SweepJournal(path) as j:
+            assert j.record("k3", {"c": 3})
+        assert SweepJournal.load(path) == {"k1": {"a": 1}, "k3": {"c": 3}}
+
+    def test_schema_mismatch_refuses_to_load(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(
+            '{"kind":"header","journal_version":1,"schema":999}\n'
+        )
+        with pytest.raises(ValueError, match="schema"):
+            SweepJournal.load(path)
+
+
+class TestRunSweepChaos:
+    def test_sequential_chaos_kill_converges_bit_identically(self):
+        pts = _points(3)
+        clean = run_points(pts, jobs=1)
+        counters.reset()
+        cfg = SuperviseConfig(
+            chaos=ChaosPlan(kill_prob=0.4, seed=2),
+            backoff_s=0.01,
+            max_attempts=10,
+        )
+        sweep = run_sweep(pts, jobs=1, supervise=cfg)
+        assert sweep.complete, sweep.failures
+        # Cache was warm from the clean run; chaos runs still went
+        # through it, so results must be byte-identical regardless.
+        assert _bits(sweep.runs) == _bits(clean)
+
+    def test_sequential_chaos_kill_cold_cache(self, monkeypatch, tmp_path):
+        pts = _points(3)
+        clean = run_points(pts, jobs=1)
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        counters.reset()
+        cfg = SuperviseConfig(
+            chaos=ChaosPlan(kill_prob=0.4, seed=2),
+            backoff_s=0.01,
+            max_attempts=10,
+        )
+        sweep = run_sweep(pts, jobs=1, supervise=cfg)
+        assert sweep.complete, sweep.failures
+        assert _bits(sweep.runs) == _bits(clean)
+        assert counters.retries >= 1  # chaos actually struck
+
+    @pytest.mark.slow
+    def test_pooled_chaos_kill_survives_pool_breaks(
+        self, monkeypatch, tmp_path
+    ):
+        pts = _points(4)
+        clean = run_points(pts, jobs=1)
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        counters.reset()
+        cfg = SuperviseConfig(
+            chaos=ChaosPlan(kill_prob=0.4, seed=2),
+            backoff_s=0.01,
+            max_attempts=10,
+            quarantine_strikes=10,
+        )
+        sweep = run_sweep(pts, jobs=2, supervise=cfg)
+        assert sweep.complete, sweep.failures
+        assert _bits(sweep.runs) == _bits(clean)
+        assert counters.pool_breaks >= 1
+
+    def test_chaos_hang_trips_timeout_then_converges(self, monkeypatch):
+        pts = _points(2)
+        clean = run_points(pts, jobs=1)
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        counters.reset()
+        cfg = SuperviseConfig(
+            chaos=ChaosPlan(hang_prob=0.5, seed=1, hang_s=30.0),
+            point_timeout_s=0.5,
+            backoff_s=0.01,
+            max_attempts=10,
+        )
+        sweep = run_sweep(pts, jobs=1, supervise=cfg)
+        assert sweep.complete, sweep.failures
+        assert _bits(sweep.runs) == _bits(clean)
+        assert counters.timeouts >= 1
+
+    def test_graceful_exhaustion_returns_structured_failures(self):
+        pts = _points(2)
+        cfg = SuperviseConfig(
+            chaos=ChaosPlan(kill_prob=1.0, seed=0),
+            backoff_s=0.0,
+            max_attempts=2,
+        )
+        sweep = run_sweep(pts, jobs=1, supervise=cfg)
+        assert not sweep.complete
+        assert sweep.completed == 0
+        assert sweep.runs == [None, None]
+        assert len(sweep.failures) == 2
+        for f, p in zip(sweep.failures, pts):
+            assert f.kind == "crash"
+            assert f.attempts == 2
+            assert f.key == point_key(p)
+            d = f.to_dict()
+            assert json.loads(json.dumps(d)) == d
+
+    def test_strict_mode_raises_sweep_incomplete(self):
+        pts = _points(2)
+        cfg = SuperviseConfig(
+            chaos=ChaosPlan(kill_prob=1.0, seed=0),
+            backoff_s=0.0,
+            max_attempts=2,
+        )
+        with pytest.raises(SweepIncompleteError) as ei:
+            run_points(pts, jobs=1, supervise=cfg)
+        # The partial result rides along.
+        assert len(ei.value.sweep.failures) == 2
+        assert "crash" in str(ei.value)
+
+    def test_deterministic_error_reraises_unchanged(self, monkeypatch):
+        import repro.runner.pool as pool_mod
+
+        def boom(point, obs, check):
+            raise ZeroDivisionError("deterministic bug")
+
+        monkeypatch.setattr(pool_mod, "_simulate_encoded", boom)
+        pts = _points(1)
+        cfg = SuperviseConfig(point_timeout_s=30.0)
+        with pytest.raises(ZeroDivisionError, match="deterministic bug"):
+            run_points(pts, jobs=1, supervise=cfg)
+        # Graceful mode records it instead, without retrying.
+        counters.reset()
+        sweep = run_sweep(pts, jobs=1, supervise=cfg)
+        assert len(sweep.failures) == 1
+        assert sweep.failures[0].kind == "error"
+        assert sweep.failures[0].attempts == 1
+        assert counters.retries == 0
+
+
+class TestRunSweepJournal:
+    def test_journal_records_every_point_and_resume_skips_them(
+        self, monkeypatch, tmp_path
+    ):
+        pts = _points(3)
+        clean = run_points(pts, jobs=1)
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        path = tmp_path / "sweep.jsonl"
+        counters.reset()
+        sweep = run_sweep(
+            pts, jobs=1, supervise=SuperviseConfig(journal=path)
+        )
+        assert sweep.complete
+        assert counters.journal_records == 3
+        assert set(SweepJournal.load(path)) == {point_key(p) for p in pts}
+        # Resume: nothing left to simulate, bit-identical results.
+        counters.reset()
+        resumed = run_sweep(
+            pts, jobs=1, supervise=SuperviseConfig(resume=path)
+        )
+        assert counters.simulated == 0
+        assert counters.journal_hits == 3
+        assert _bits(resumed.runs) == _bits(clean)
+
+    def test_partial_journal_resumes_only_missing_points(
+        self, monkeypatch, tmp_path
+    ):
+        pts = _points(3)
+        clean = run_points(pts, jobs=1)
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        path = tmp_path / "sweep.jsonl"
+        run_sweep(pts, jobs=1, supervise=SuperviseConfig(journal=path))
+        # Drop the last record (simulates dying mid-sweep).
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")
+        counters.reset()
+        resumed = run_sweep(
+            pts,
+            jobs=1,
+            supervise=SuperviseConfig(journal=path, resume=path),
+        )
+        assert resumed.complete
+        assert counters.journal_hits == 2
+        assert counters.simulated == 1
+        assert _bits(resumed.runs) == _bits(clean)
+        # The journal healed: all three points are present again.
+        assert len(SweepJournal.load(path)) == 3
+
+    def test_journal_is_self_contained_with_cache_hits(
+        self, monkeypatch, tmp_path
+    ):
+        pts = _points(2)
+        run_points(pts, jobs=1)  # warm the cache
+        path = tmp_path / "sweep.jsonl"
+        counters.reset()
+        sweep = run_sweep(
+            pts, jobs=1, supervise=SuperviseConfig(journal=path)
+        )
+        assert sweep.complete
+        assert counters.simulated == 0  # all cache hits
+        # Cache-served points still land in the journal, so the journal
+        # alone can resume the sweep on a cacheless machine.
+        assert set(SweepJournal.load(path)) == {point_key(p) for p in pts}

@@ -1,0 +1,16 @@
+import sys, time
+sys.path.insert(0, sys.argv[1])
+from repro.api import simulate_alltoall
+from repro.model.torus import TorusShape
+from repro.strategies.direct import ARDirect
+shape = TorusShape.parse(sys.argv[2])
+reps = int(sys.argv[3]) if len(sys.argv) > 3 else 3
+best = None
+for _ in range(reps):
+    t0 = time.process_time()
+    res = simulate_alltoall(ARDirect(), shape, 64, seed=1).result
+    dt = time.process_time() - t0
+    best = dt if best is None or dt < best else best
+print('%s %s: cpu %.2fs ev/s %.0f events=%d' % (
+    sys.argv[1], sys.argv[2], best, res.events_processed / best,
+    res.events_processed))

@@ -403,13 +403,13 @@ def broken_dedup() -> Iterator[None]:
     from repro.net.faultsim import FaultyTorusNetwork
     from repro.net.simulator import TorusNetwork
 
-    def sabotaged(self, u, pkt):
-        seq = pkt.seq
+    def sabotaged(self, u, h):
+        seq = self._P_seq[h]
         if seq >= 0:
             # The bug under injection: record the seq but never check it.
             self._delivered_seqs.add(seq)
             self._outstanding.pop(seq, None)
-        TorusNetwork._finish_delivery(self, u, pkt)
+        TorusNetwork._finish_delivery(self, u, h)
 
     original = FaultyTorusNetwork._finish_delivery
     FaultyTorusNetwork._finish_delivery = sabotaged

@@ -58,8 +58,8 @@ from repro.net.instrumented import (
     InstrumentedFaultyTorusNetwork,
     InstrumentedTorusNetwork,
 )
-from repro.net.packet import Packet, PacketSpec
-from repro.net.simulator import TorusNetwork
+from repro.net.packet import PacketSpec
+from repro.net.simulator import TICK_UNSCALE, TorusNetwork
 from repro.net.trace import SimulationResult
 from repro.check.config import CheckConfig
 from repro.obs.config import ObsConfig
@@ -69,7 +69,7 @@ from repro.strategies.data import (
     PHASE_TPS2,
     PHASE_VMESH1,
     PHASE_VMESH2,
-    tag_kind,
+    kind_of_tag,
 )
 
 
@@ -152,11 +152,16 @@ class _CheckedMixin:
     # lifecycle hooks (super() first, then read-only verification)
     # -------------------------------------------------------------- #
 
-    def _launch(self, u: int, d: int, v: int, pkt: Packet, vc: int) -> None:
+    def _launch(self, u: int, d: int, v: int, h: int, vc: int) -> None:
         now = self._now
         busy_before = self._link_busy[u * self._ndirs + d]
-        super()._launch(u, d, v, pkt, vc)
-        self._chk_busy_total += self._link_busy[u * self._ndirs + d] - now
+        pid = self._P_pid[h]
+        super()._launch(u, d, v, h, vc)
+        # Tick deltas unscale to exactly the float cycle deltas the
+        # pre-SoA oracle accumulated (power-of-two scaling is exact).
+        self._chk_busy_total += (
+            self._link_busy[u * self._ndirs + d] - now
+        ) * TICK_UNSCALE
         if not self.check.credits:
             return
         tok = self._tokens[(v * self._ndirs + (d ^ 1)) * self._nvcs + vc]
@@ -164,23 +169,24 @@ class _CheckedMixin:
             raise InvariantError(
                 "credits",
                 "downstream credit went negative at launch",
-                cycle=now, node=u, direction=d, vc=vc, tokens=tok,
-                pid=pkt.pid,
+                cycle=now * TICK_UNSCALE, node=u, direction=d, vc=vc,
+                tokens=tok, pid=pid,
             )
         if busy_before > now:
             raise InvariantError(
                 "credits",
                 "launch on a busy link",
-                cycle=now, node=u, direction=d, busy_until=busy_before,
-                pid=pkt.pid,
+                cycle=now * TICK_UNSCALE, node=u, direction=d,
+                busy_until=busy_before * TICK_UNSCALE, pid=pid,
             )
-        if pkt.hops > self._chk_max_hops:
+        hops = self._P_hops[h]
+        if hops > self._chk_max_hops:
             raise InvariantError(
                 "credits",
                 f"packet exceeded the {self._chk_max_hops}-hop "
                 f"routability bound (routing loop?)",
-                cycle=now, pid=pkt.pid, src=pkt.src, dst=pkt.dst,
-                hops=pkt.hops,
+                cycle=now * TICK_UNSCALE, pid=pid, src=self._P_src[h],
+                dst=self._P_dst[h], hops=hops,
             )
 
     def _begin_injection(
@@ -193,51 +199,59 @@ class _CheckedMixin:
                 raise InvariantError(
                     "credits",
                     "injection FIFO slot count went negative",
-                    cycle=self._now, node=u, fifo=fifo, free=free,
+                    cycle=self._now * TICK_UNSCALE, node=u, fifo=fifo,
+                    free=free,
                 )
 
-    def _on_arrive(self, v: int, in_dir: int, pkt: Packet) -> None:
-        super()._on_arrive(v, in_dir, pkt)
+    def _on_arrive(self, v: int, port: int, h: int) -> None:
+        super()._on_arrive(v, port, h)
         if not self.check.credits:
             return
         if self._recv_free[v] < 0:
             raise InvariantError(
                 "credits",
                 "reception slot count went negative",
-                cycle=self._now, node=v, free=self._recv_free[v],
+                cycle=self._now * TICK_UNSCALE, node=v,
+                free=self._recv_free[v],
             )
-        depth = len(
-            self._vcq[(v * self._ndirs + in_dir) * self._nvcs + pkt.vc]
-        )
+        depth = self._q_n[v * self._nports + port]
         if depth > self._vc_depth:
             raise InvariantError(
                 "credits",
                 f"VC buffer overfilled beyond its {self._vc_depth}-packet "
                 f"depth (credit protocol broken)",
-                cycle=self._now, node=v, in_dir=in_dir, vc=pkt.vc,
+                cycle=self._now * TICK_UNSCALE, node=v,
+                in_dir=self._port_dir[port], vc=self._port_vc[port],
                 depth=depth,
             )
 
-    def _finish_delivery(self, u: int, pkt: Packet) -> None:
+    def _finish_delivery(self, u: int, h: int) -> None:
         st = self.stats
         delivered0 = st.delivered_packets
-        super()._finish_delivery(u, pkt)
+        # Snapshot the pool columns up front: the base class returns the
+        # handle to the free list once the delivery is consumed.
+        seq = self._P_seq[h]
+        pid = self._P_pid[h]
+        src = self._P_src[h]
+        final_dst = self._P_final[h]
+        kind = kind_of_tag(self._P_tag[h])
+        super()._finish_delivery(u, h)
         if st.delivered_packets == delivered0:
             return  # receiver-side duplicate discard (fault runs)
         chk = self.check
-        if chk.exactly_once and pkt.seq >= 0:
-            if pkt.seq in self._chk_seen_seqs:
+        if chk.exactly_once and seq >= 0:
+            if seq in self._chk_seen_seqs:
                 raise InvariantError(
                     "exactly_once",
                     "sequenced packet consumed twice (dedup broken)",
-                    cycle=self._now, node=u, seq=pkt.seq, pid=pkt.pid,
-                    src=pkt.src,
+                    cycle=self._now * TICK_UNSCALE, node=u, seq=seq,
+                    pid=pid, src=src,
                 )
-            self._chk_seen_seqs.add(pkt.seq)
+            self._chk_seen_seqs.add(seq)
         if chk.phases:
             if not self._chk_bound:
                 self._chk_bind_program()
-            self._chk_phase(u, pkt)
+            self._chk_phase(u, kind, src, final_dst, pid)
         if chk.progress:
             self._chk_deliveries += 1
             if self._chk_deliveries % chk.audit_interval == 0:
@@ -247,89 +261,89 @@ class _CheckedMixin:
     # oracles
     # -------------------------------------------------------------- #
 
-    def _chk_phase(self, u: int, pkt: Packet) -> None:
+    def _chk_phase(
+        self, u: int, kind: Optional[str], src: int, final_dst: int, pid: int
+    ) -> None:
         """Per-strategy phase/geometry invariants at consumption."""
-        kind = tag_kind(pkt)
         if kind is None:
             return
+        now_f = self._now * TICK_UNSCALE
         if kind == PHASE_DIRECT:
-            if u != pkt.final_dst:
+            if u != final_dst:
                 raise InvariantError(
                     "phases",
                     "direct packet consumed away from its destination",
-                    cycle=self._now, node=u, final_dst=pkt.final_dst,
-                    pid=pkt.pid,
+                    cycle=now_f, node=u, final_dst=final_dst, pid=pid,
                 )
             return
         axis = self._chk_axis
         if kind == PHASE_TPS1 and axis is not None:
             coord = self._coord[axis]
-            if coord[u] != coord[pkt.final_dst]:
+            if coord[u] != coord[final_dst]:
                 raise InvariantError(
                     "phases",
                     "TPS phase-1 packet landed off the destination's "
                     "linear line",
-                    cycle=self._now, node=u, src=pkt.src,
-                    final_dst=pkt.final_dst, axis=axis, pid=pkt.pid,
+                    cycle=now_f, node=u, src=src,
+                    final_dst=final_dst, axis=axis, pid=pid,
                 )
             if self._chk_strict_tps:
                 for a in range(self._ndim):
                     if a == axis:
                         continue
-                    if self._coord[a][u] != self._coord[a][pkt.src]:
+                    if self._coord[a][u] != self._coord[a][src]:
                         raise InvariantError(
                             "phases",
                             "TPS phase-1 packet left its source's plane "
                             "before the linear phase completed",
-                            cycle=self._now, node=u, src=pkt.src,
-                            axis=a, pid=pkt.pid,
+                            cycle=now_f, node=u, src=src,
+                            axis=a, pid=pid,
                         )
         elif kind == PHASE_TPS2 and axis is not None:
-            if u != pkt.final_dst:
+            if u != final_dst:
                 raise InvariantError(
                     "phases",
                     "TPS phase-2 packet consumed away from its "
                     "destination",
-                    cycle=self._now, node=u, final_dst=pkt.final_dst,
-                    pid=pkt.pid,
+                    cycle=now_f, node=u, final_dst=final_dst, pid=pid,
                 )
             coord = self._coord[axis]
-            if coord[pkt.src] != coord[u]:
+            if coord[src] != coord[u]:
                 raise InvariantError(
                     "phases",
                     "TPS phase-2 packet crossed linear lines (planar "
                     "phase must be linear-free)",
-                    cycle=self._now, node=u, src=pkt.src, axis=axis,
-                    pid=pkt.pid,
+                    cycle=now_f, node=u, src=src, axis=axis, pid=pid,
                 )
         elif kind == PHASE_VMESH1 and self._chk_vmap is not None:
             row_u, _ = self._chk_vmap.row_col(u)
-            row_s, _ = self._chk_vmap.row_col(pkt.src)
-            if row_u != row_s or u != pkt.final_dst:
+            row_s, _ = self._chk_vmap.row_col(src)
+            if row_u != row_s or u != final_dst:
                 raise InvariantError(
                     "phases",
                     "VMesh phase-1 packet left its sender's row",
-                    cycle=self._now, node=u, src=pkt.src, pid=pkt.pid,
+                    cycle=now_f, node=u, src=src, pid=pid,
                 )
         elif kind == PHASE_VMESH2 and self._chk_vmap is not None:
             _, col_u = self._chk_vmap.row_col(u)
-            _, col_s = self._chk_vmap.row_col(pkt.src)
-            if col_u != col_s or u != pkt.final_dst:
+            _, col_s = self._chk_vmap.row_col(src)
+            if col_u != col_s or u != final_dst:
                 raise InvariantError(
                     "phases",
                     "VMesh phase-2 packet left its sender's column",
-                    cycle=self._now, node=u, src=pkt.src, pid=pkt.pid,
+                    cycle=now_f, node=u, src=src, pid=pid,
                 )
 
     def _chk_audit(self) -> None:
         """No-stuck-queue / bounded-resource audit over the whole state."""
+        now_f = self._now * TICK_UNSCALE
         vc_depth = self._vc_depth
         for i, t in enumerate(self._tokens):
             if t < 0 or t > vc_depth:
                 raise InvariantError(
                     "progress",
                     f"credit count out of [0, {vc_depth}]",
-                    cycle=self._now, index=i, tokens=t,
+                    cycle=now_f, index=i, tokens=t,
                 )
         cap = self.config.injection_fifo_depth
         for i, f in enumerate(self._fifo_free):
@@ -337,7 +351,7 @@ class _CheckedMixin:
                 raise InvariantError(
                     "progress",
                     f"injection FIFO free count out of [0, {cap}]",
-                    cycle=self._now, index=i, free=f,
+                    cycle=now_f, index=i, free=f,
                 )
         rcap = self.config.reception_fifo_depth
         for u, r in enumerate(self._recv_free):
@@ -345,42 +359,46 @@ class _CheckedMixin:
                 raise InvariantError(
                     "progress",
                     f"reception free count out of [0, {rcap}]",
-                    cycle=self._now, node=u, free=r,
+                    cycle=now_f, node=u, free=r,
                 )
+        nports = self._nports
+        q_n = self._q_n
         for u in range(self._p):
-            actual = sum(len(q) for q in self._ports_q[u])
+            base = u * nports
+            actual = sum(q_n[base : base + nports])
             if self._queued[u] != actual:
                 raise InvariantError(
                     "progress",
                     "queued-packet counter diverged from queue contents "
                     "(stuck queue: arbitration will skip this node)",
-                    cycle=self._now, node=u, counter=self._queued[u],
+                    cycle=now_f, node=u, counter=self._queued[u],
                     actual=actual,
                 )
 
     def _chk_conservation(self) -> None:
         """End-of-run accounting: nothing leaked, everything returned."""
+        now_f = self._now * TICK_UNSCALE
         vc_depth = self._vc_depth
         leaked = sum(1 for t in self._tokens if t != vc_depth)
         if leaked:
             raise InvariantError(
                 "conservation",
                 f"{leaked} VC credit(s) not returned to depth {vc_depth}",
-                cycle=self._now,
+                cycle=now_f,
             )
         cap = self.config.injection_fifo_depth
         if any(f != cap for f in self._fifo_free):
             raise InvariantError(
                 "conservation",
                 "injection FIFO slots not all returned",
-                cycle=self._now,
+                cycle=now_f,
             )
         rcap = self.config.reception_fifo_depth
         if any(r != rcap for r in self._recv_free):
             raise InvariantError(
                 "conservation",
                 "reception slots not all returned",
-                cycle=self._now,
+                cycle=now_f,
             )
         st = self.stats
         accounted = st.delivered_packets + st.duplicate_packets + st.lost_packets

@@ -30,6 +30,9 @@ class SimulationLimitError(SimulationError):
     * ``events_processed`` — events handled before the limit tripped;
     * ``packets_in_flight`` — packets sitting in VC buffers and injection
       FIFOs at that moment;
+    * ``recv_pending`` — packets accepted into reception FIFOs but not yet
+      drained by their node's CPU;
+    * ``fwd_pending`` — forward/retransmission specs awaiting re-injection;
     * ``pending_by_node`` — per-node count of CPU work still queued
       (receptions to drain plus forwards to re-inject), non-zero nodes only.
     """
@@ -41,12 +44,22 @@ class SimulationLimitError(SimulationError):
         events_processed: int = 0,
         packets_in_flight: int = 0,
         pending_by_node: Optional[Mapping[int, int]] = None,
+        recv_pending: int = 0,
+        fwd_pending: int = 0,
     ) -> None:
         self.events_processed = events_processed
         self.packets_in_flight = packets_in_flight
+        self.recv_pending = recv_pending
+        self.fwd_pending = fwd_pending
         self.pending_by_node = dict(pending_by_node or {})
         msg = reason
-        if events_processed or packets_in_flight or self.pending_by_node:
+        if (
+            events_processed
+            or packets_in_flight
+            or recv_pending
+            or fwd_pending
+            or self.pending_by_node
+        ):
             hot = sorted(
                 self.pending_by_node.items(), key=lambda kv: -kv[1]
             )[:8]
@@ -54,6 +67,7 @@ class SimulationLimitError(SimulationError):
             msg = (
                 f"{reason} [events_processed={events_processed}, "
                 f"packets_in_flight={packets_in_flight}, "
+                f"recv_pending={recv_pending}, fwd_pending={fwd_pending}, "
                 f"pending work ({len(self.pending_by_node)} nodes): {hot_s}]"
             )
         super().__init__(msg)

@@ -25,10 +25,17 @@ The zero-fault path stays on the base class: :func:`build_network` only
 instantiates this subclass for a non-empty plan, and the base class's hot
 loop carries **no** fault branches (the overrides below are copies with the
 fault logic woven in, not hooks called per event).
+
+Like the base class, all state is struct-of-arrays: packets are integer
+handles into the shared :class:`~repro.net.packet.PacketPool`, the
+retransmission ledger keys sequence numbers to specs (never handles — a
+dropped packet's handle is recycled the moment it dies on the wire), and
+event times are 2**64-scaled ticks (see the base module docstring).
 """
 
 from __future__ import annotations
 
+import gc
 import itertools
 from dataclasses import replace
 from heapq import heappop
@@ -48,7 +55,7 @@ from repro.net.faults import (
     loss_draw,
     loss_salt,
 )
-from repro.net.packet import Packet, PacketSpec
+from repro.net.packet import PacketSpec
 from repro.net.program import NodeProgram
 from repro.net.simulator import (
     _ADAPTIVE,
@@ -57,14 +64,13 @@ from repro.net.simulator import (
     _EV_CPU_WAKE,
     _EV_FIFO_FREE,
     _EV_LINK_FREE,
+    _EV_OUTAGE,
+    _EV_RETX,
     _EV_TOKEN,
+    TICK_SCALE,
     TorusNetwork,
 )
 from repro.net.trace import SimulationResult
-
-# Extra event kinds (base simulator uses 0-5).
-_EV_RETX = 6
-_EV_OUTAGE = 7
 
 
 class FaultyTorusNetwork(TorusNetwork):
@@ -96,7 +102,10 @@ class FaultyTorusNetwork(TorusNetwork):
         self.routing = rt
         # Masked neighbors: the base arbitration/token machinery sees dead
         # links as absent (== mesh edges) and can never route over them.
+        # The interned TOKEN events bake the upstream neighbor in, so they
+        # must be rebuilt against the masked table.
         self._nbr = rt.nbr
+        self._build_token_events()
         self._num_links = rt.num_links
         self._dist = rt.dist
         self._nh_up = rt.nh_up
@@ -121,8 +130,11 @@ class FaultyTorusNetwork(TorusNetwork):
                 )
             if self._nbr[o.node][o.direction] < 0:
                 continue  # outage on a dead/absent link changes nothing
-            self._post(o.start, _EV_OUTAGE, o.node, o.direction, o.end)
-            self._post(o.end, _EV_LINK_FREE, o.node, o.direction, None)
+            li = o.node * self._ndirs + o.direction
+            self._post_ev(
+                o.start * TICK_SCALE, (_EV_OUTAGE, li, o.end * TICK_SCALE, 0)
+            )
+            self._post_ev(o.end * TICK_SCALE, self._link_evs[li])
             self.stats.outage_cycles += o.end - o.start
 
     # ------------------------------------------------------------------ #
@@ -130,14 +142,14 @@ class FaultyTorusNetwork(TorusNetwork):
     # ------------------------------------------------------------------ #
 
     def _vc_for_link(
-        self, u: int, d: int, v: int, pkt: Packet, in_axis: int,
+        self, u: int, d: int, v: int, h: int, in_axis: int,
         dynamic_pass: bool,
     ) -> int:
-        db = pkt.dst * self._p
+        db = self._P_dst[h] * self._p
         base = (v * self._ndirs + (d ^ 1)) * self._nvcs
         tokens = self._tokens
         if dynamic_pass:
-            if pkt.mode != _ADAPTIVE:
+            if self._P_mode[h] != _ADAPTIVE:
                 return -1
             # Adaptive progress = any surviving link that strictly reduces
             # BFS distance to the destination (minimal on the degraded
@@ -155,7 +167,7 @@ class FaultyTorusNetwork(TorusNetwork):
         # Escape pass: up*/down* on the bubble VC.  A single free slot
         # suffices — the up*/down* channel dependency graph is acyclic, so
         # no bubble is needed for deadlock freedom.
-        nh = self._nh_down if pkt.downphase else self._nh_up
+        nh = self._nh_down if self._P_down[h] else self._nh_up
         if nh[db + u] != d:
             return -1
         if tokens[base + self._bubble] >= 1:
@@ -173,65 +185,74 @@ class FaultyTorusNetwork(TorusNetwork):
         if v < 0:
             return False
         li = u * self._ndirs + d
-        if self._link_busy[li] > self._now or not self._queued[u]:
+        m = self._pmask[u]
+        if not m or self._link_busy[li] > self._now:
             return False
         nports = self._nports
-        nvc_ports = nports - self._nfifos
-        ports_q = self._ports_q[u]
+        nvp = self._nvp
+        q_buf = self._q_buf
+        q_hd = self._q_hd
+        qsh = self._q_shift
+        ubase = u * nports
+        P_dst = self._P_dst
         vc_for_link = self._vc_for_link
         start = self._arb[li]
+        mm = ((m >> start) | (m << (nports - start))) & ((1 << nports) - 1)
         b_port = -1
-        b_pkt = None
+        b_h = -1
         b_vc = -1
-        for k in range(nports):
-            port = start + k
+        while mm:
+            low = mm & -mm
+            mm -= low
+            port = start + low.bit_length() - 1
             if port >= nports:
                 port -= nports
-            q = ports_q[port]
-            if not q:
-                continue
-            pkt = q[0]
+            h = q_buf[((ubase + port) << qsh) | q_hd[ubase + port]]
             in_axis = -1
-            if port < nvc_ports:
-                if pkt.dst == u:
+            if port < nvp:
+                if P_dst[h] == u:
                     continue  # waiting for reception space
                 in_axis = port // self._nvcs >> 1
-            use_vc = vc_for_link(u, d, v, pkt, in_axis, True)
+            use_vc = vc_for_link(u, d, v, h, in_axis, True)
             if use_vc >= 0:
-                b_port, b_pkt, b_vc = port, pkt, use_vc
+                b_port, b_h, b_vc = port, h, use_vc
                 break
             if b_port < 0:
-                use_vc = vc_for_link(u, d, v, pkt, in_axis, False)
+                use_vc = vc_for_link(u, d, v, h, in_axis, False)
                 if use_vc >= 0:
-                    b_port, b_pkt, b_vc = port, pkt, use_vc
+                    b_port, b_h, b_vc = port, h, use_vc
         if b_port < 0:
             return False
-        port, pkt = b_port, b_pkt
-        ports_q[port].popleft()
+        port = b_port
+        qi = ubase + port
+        q_hd[qi] = (q_hd[qi] + 1) & self._q_mask
+        n = self._q_n[qi] - 1
+        self._q_n[qi] = n
+        if not n:
+            self._pmask[u] &= self._nbit[port]
         self._queued[u] -= 1
         self._arb[li] = port + 1 if port + 1 < nports else 0
-        if port < nvc_ports:
-            in_dir, vc = self._vc_ports[port]
-            self._post(self._now, _EV_TOKEN, u, in_dir, vc)
-            self._launch(u, d, v, pkt, b_vc)
-            self._advance_queue_head(u, in_dir, vc)
+        if port < nvp:
+            self._immediate.append(self._tok_evs[u * nvp + port])
+            self._launch(u, d, v, b_h, b_vc)
+            self._advance_queue_head(u, port)
         else:
-            f = port - nvc_ports
-            self._post(self._now, _EV_FIFO_FREE, u, f, None)
-            self._launch(u, d, v, pkt, b_vc)
+            f = port - nvp
+            self._immediate.append(self._fifo_evs[u * self._nfifos + f])
+            self._launch(u, d, v, b_h, b_vc)
             self._advance_fifo_head(u, f)
         return True
 
-    def _try_send_head(self, u: int, pkt: Packet, in_axis: int) -> bool:
+    def _try_send_head(self, u: int, h: int, in_axis: int) -> bool:
         link_busy = self._link_busy
         nbr_u = self._nbr[u]
         lbase = u * self._ndirs
         now = self._now
-        db = pkt.dst * self._p
+        db = self._P_dst[h] * self._p
         dist = self._dist
         du = dist[db + u]
         tokens = self._tokens
-        if pkt.mode == _ADAPTIVE:
+        if self._P_mode[h] == _ADAPTIVE:
             best_d, best_vc, best_free = -1, -1, 0
             for d in range(self._ndirs):
                 v = nbr_u[d]
@@ -246,10 +267,10 @@ class FaultyTorusNetwork(TorusNetwork):
                     if f > best_free:
                         best_d, best_vc, best_free = d, vc, f
             if best_d >= 0:
-                self._launch(u, best_d, nbr_u[best_d], pkt, best_vc)
+                self._launch(u, best_d, nbr_u[best_d], h, best_vc)
                 return True
         # Escape (also the only path for DETERMINISTIC packets).
-        nh = self._nh_down if pkt.downphase else self._nh_up
+        nh = self._nh_down if self._P_down[h] else self._nh_up
         d = nh[db + u]
         if d < 0:
             return False
@@ -258,52 +279,57 @@ class FaultyTorusNetwork(TorusNetwork):
             return False
         base = (v * self._ndirs + (d ^ 1)) * self._nvcs
         if tokens[base + self._bubble] >= 1:
-            self._launch(u, d, v, pkt, self._bubble)
+            self._launch(u, d, v, h, self._bubble)
             return True
         return False
 
-    def _launch(
-        self, u: int, d: int, v: int, pkt: Packet, vc: int
-    ) -> None:
-        idx = (v * self._ndirs + (d ^ 1)) * self._nvcs + vc
-        self._tokens[idx] -= 1
-        pkt.vc = vc
-        pkt.hops += 1
+    def _launch(self, u: int, d: int, v: int, h: int, vc: int) -> None:
+        self._tokens[(v * self._ndirs + (d ^ 1)) * self._nvcs + vc] -= 1
+        self._P_vc[h] = vc
+        self._P_hops[h] += 1
         st = self.stats
         st.total_hops += 1
         li = u * self._ndirs + d
-        service = pkt.wire_bytes * self._beta * self._degrade[li]
-        done = self._now + service
+        service = self._svc_f[self._P_wire[h]] * self._degrade[li]
+        done = self._now + service * TICK_SCALE
         self._link_busy[li] = done
         self._busy_cycles[li] += service
-        self._post(done, _EV_LINK_FREE, u, d, None)
+        self._post_ev(done, self._link_evs[li])
         # Track the up*/down* phase: once a packet descends on the escape
         # VC it may never climb again while it stays there; any adaptive
         # hop resets the phase (a fresh escape episode starts clean).
         if vc == self._bubble:
             if self._order[v] > self._order[u]:
-                pkt.downphase = True
+                self._P_down[h] = True
         else:
-            pkt.downphase = False
+            self._P_down[h] = False
         # A hop that is not minimal on the pristine torus is a reroute
         # forced by the fault plan.
-        disp = self._disp(u, pkt.dst, d >> 1, pkt.halfbits)
+        dst = self._P_dst[h]
+        disp = self._disp(u, dst, d >> 1, self._P_half[h])
         if disp == 0 or (disp > 0) != ((d & 1) == 0):
             st.rerouted_hops += 1
         if self._has_loss:
             p_loss = self._loss[li]
             if p_loss > 0.0 and (
-                loss_draw(self._loss_salt, pkt.pid, pkt.hops, li) < p_loss
+                loss_draw(self._loss_salt, self._P_pid[h], self._P_hops[h], li)
+                < p_loss
             ):
                 # Dropped on the wire: the transmission still occupies the
                 # link, and the reserved downstream slot frees when the
                 # tail would have passed.  No arrival is ever posted; the
                 # sender's retransmission timer recovers the payload.
                 st.lost_packets += 1
-                self._post(done, _EV_TOKEN, v, d ^ 1, vc)
+                self._post_ev(
+                    done,
+                    self._tok_evs[
+                        (v * self._ndirs + (d ^ 1)) * self._nvcs + vc
+                    ],
+                )
+                self._pool.free.append(h)
                 return
-        arrive = (done if pkt.dst == v else self._now) + self._hop_latency
-        self._post(arrive, _EV_ARRIVE, v, d ^ 1, pkt)
+        arrive = (done if dst == v else self._now) + self._hop_t
+        self._post_ev(arrive, (_EV_ARRIVE, v, (d ^ 1) * self._nvcs + vc, h))
 
     # ------------------------------------------------------------------ #
     # reliability layer
@@ -314,25 +340,25 @@ class FaultyTorusNetwork(TorusNetwork):
         self._cpu_pending[u] = None
         assert op is not None, "CPU completion with no pending op"
         if op[0] == "recv":
-            pkt: Packet = op[1]
+            h: int = op[1]
             self._recv_free[u] += 1
-            self._finish_delivery(u, pkt)
+            self._finish_delivery(u, h)
             self._deliver_local_heads(u)
         else:  # inject
             spec: PacketSpec = op[1]
             fifo: int = op[2]
-            pkt = Packet.from_spec(next(self._pid), u, spec, self._now)
+            h = self._pool.alloc(next(self._pid), u, spec, self._now)
             self.stats.injected_packets += 1
             self.stats.injected_wire_bytes += spec.wire_bytes
-            if pkt.dst == u:
+            if spec.dst == u:
                 # Local (self) message: bypasses the network entirely.
                 self._fifo_free[u * self._nfifos + fifo] += 1
-                self._finish_delivery(u, pkt)
+                self._finish_delivery(u, h)
             else:
-                if pkt.dst in self._dead_set:
+                if spec.dst in self._dead_set:
                     raise SimulationError(
                         f"node {u} injected a packet for dead node "
-                        f"{pkt.dst}; strategies must be built with the "
+                        f"{spec.dst}; strategies must be built with the "
                         f"fault plan"
                     )
                 if self._has_loss and spec.seq < 0:
@@ -342,33 +368,32 @@ class FaultyTorusNetwork(TorusNetwork):
                     # here with seq >= 0 and is passed through untouched —
                     # its timer chain is driven by _on_retx.
                     seq = next(self._seqno)
-                    pkt.seq = seq
+                    self._P_seq[h] = seq
                     self._outstanding[seq] = (
                         u, replace(spec, seq=seq, new_message=False)
                     )
-                    self._post(
-                        self._now + self.faults.retx_timeout_cycles,
-                        _EV_RETX, u, 1, seq,
+                    self._post_ev(
+                        self._now
+                        + self.faults.retx_timeout_cycles * TICK_SCALE,
+                        (_EV_RETX, u, 1, seq),
                     )
-                fq = self._fifo[u * self._nfifos + fifo]
-                fq.append(pkt)
-                self._queued[u] += 1
-                if len(fq) == 1:
+                if self._q_append(u, self._nvp + fifo, h):
                     self._advance_fifo_head(u, fifo)
         self._cpu_start_next(u)
 
-    def _finish_delivery(self, u: int, pkt: Packet) -> None:
-        seq = pkt.seq
+    def _finish_delivery(self, u: int, h: int) -> None:
+        seq = self._P_seq[h]
         if seq >= 0:
             if seq in self._delivered_seqs:
                 # The original was slow, not lost; the retransmitted twin
                 # already arrived (or vice versa).  At-most-once delivery:
                 # drop it before the program sees it.
                 self.stats.duplicate_packets += 1
+                self._pool.free.append(h)
                 return
             self._delivered_seqs.add(seq)
             self._outstanding.pop(seq, None)
-        super()._finish_delivery(u, pkt)
+        super()._finish_delivery(u, h)
 
     def _on_retx(self, attempt: int, seq: int) -> None:
         ent = self._outstanding.get(seq)
@@ -389,9 +414,10 @@ class FaultyTorusNetwork(TorusNetwork):
             st.peak_forward_backlog = len(fp)
         self._cpu_maybe_start(src)
         backoff = self.faults.retx_backoff ** min(attempt, 10)
-        self._post(
-            self._now + self.faults.retx_timeout_cycles * backoff,
-            _EV_RETX, src, attempt + 1, seq,
+        self._post_ev(
+            self._now
+            + self.faults.retx_timeout_cycles * backoff * TICK_SCALE,
+            (_EV_RETX, src, attempt + 1, seq),
         )
 
     # ------------------------------------------------------------------ #
@@ -412,55 +438,72 @@ class FaultyTorusNetwork(TorusNetwork):
                     )
                 continue
             self._plan_iter[u] = iter(program.injection_plan(u))
-            self._pace[u] = program.pace_cycles(u)
+            self._pace[u] = program.pace_cycles(u) * TICK_SCALE
             self._cpu_maybe_start(u)
 
-        events = self._events
-        imm = self._immediate
         max_cycles = self.config.max_cycles
+        max_cycles_t = max_cycles * TICK_SCALE
         max_events = self.config.max_events
         st = self.stats
         n_events = 0
+        imm = self._immediate
+        imm_pop = imm.popleft
+        imm_extend = imm.extend
+        theap = self._theap
+        bucket_pop = self._buckets.pop
+        link_busy = self._link_busy
+        tokens = self._tokens
+        fifo_free = self._fifo_free
+        pmask = self._pmask
+        now = self._now
 
-        # Heap + immediate-FIFO merge, as in the base loop.
-        while events or imm:
-            if imm and (not events or imm[0] < events[0]):
-                t, _, kind, a, b, c = imm.popleft()
-            else:
-                t, _, kind, a, b, c = heappop(events)
-            self._now = t
-            n_events += 1
-            if kind == _EV_ARRIVE:
-                self._on_arrive(a, b, c)
-            elif kind == _EV_TOKEN:
-                self._tokens[(a * self._ndirs + b) * self._nvcs + c] += 1
-                w = self._nbr[a][b]
-                if w >= 0 and self._queued[w]:
-                    self._arbitrate_link(w, b ^ 1)
-            elif kind == _EV_LINK_FREE:
-                if self._queued[a]:
-                    self._arbitrate_link(a, b)
-            elif kind == _EV_CPU_DONE:
-                self._cpu_complete(a)
-            elif kind == _EV_FIFO_FREE:
-                self._fifo_free[a * self._nfifos + b] += 1
-                self._cpu_maybe_start(a)
-            elif kind == _EV_CPU_WAKE:
-                self._cpu_maybe_start(a)
-            elif kind == _EV_RETX:
-                self._on_retx(b, c)
-            else:  # _EV_OUTAGE: hold the link busy until the window ends
-                li = a * self._ndirs + b
-                if c > self._link_busy[li]:
-                    self._link_busy[li] = c
-            if t > max_cycles:
-                raise self._limit_error(
-                    f"simulation exceeded {max_cycles:.3g} cycles", n_events
-                )
-            if n_events > max_events:
-                raise self._limit_error(
-                    f"simulation exceeded {max_events} events", n_events
-                )
+        # Calendar drain, as in the base loop (see its docstring).
+        gc_was = gc.isenabled()
+        gc.disable()
+        try:
+            while True:
+                if imm:
+                    kind, a, b, c = imm_pop()
+                elif theap:
+                    self._now = now = heappop(theap)
+                    imm_extend(bucket_pop(now))
+                    kind, a, b, c = imm_pop()
+                else:
+                    break
+                n_events += 1
+                if kind == _EV_ARRIVE:
+                    self._on_arrive(a, b, c)
+                elif kind == _EV_TOKEN:
+                    tokens[a] += 1
+                    if b >= 0 and pmask[b]:
+                        self._arbitrate_link(b, c)
+                elif kind == _EV_LINK_FREE:
+                    if pmask[a]:
+                        self._arbitrate_link(a, b)
+                elif kind == _EV_CPU_DONE:
+                    self._cpu_complete(a)
+                elif kind == _EV_FIFO_FREE:
+                    fifo_free[a] += 1
+                    self._cpu_maybe_start(b)
+                elif kind == _EV_CPU_WAKE:
+                    self._cpu_maybe_start(a)
+                elif kind == _EV_RETX:
+                    self._on_retx(b, c)
+                else:  # _EV_OUTAGE: hold the link busy until the window ends
+                    if b > link_busy[a]:
+                        link_busy[a] = b
+                if now > max_cycles_t:
+                    raise self._limit_error(
+                        f"simulation exceeded {max_cycles:.3g} cycles",
+                        n_events,
+                    )
+                if n_events > max_events:
+                    raise self._limit_error(
+                        f"simulation exceeded {max_events} events", n_events
+                    )
+        finally:
+            if gc_was:
+                gc.enable()
 
         st.events_processed = n_events
         self._check_quiescent()

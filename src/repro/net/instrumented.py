@@ -11,7 +11,8 @@ for tracing or metrics, :func:`repro.net.faultsim.build_network` returns
 one of the subclasses below instead.
 
 Every override here calls ``super()`` *first* and then only reads state
-(queue lengths, stats deltas, the packet object), so an instrumented run
+(ring-buffer queue depths, stats deltas, the packet pool's columns), so
+an instrumented run
 makes exactly the decisions — and produces exactly the ``time_cycles``
 and event counts — of an un-instrumented one.  ``tests/obs`` pins this
 bit-identity.
@@ -38,13 +39,12 @@ from repro.model.torus import TorusShape
 from repro.net.config import NetworkConfig
 from repro.net.faults import FaultPlan
 from repro.net.faultsim import FaultyTorusNetwork
-from repro.net.packet import Packet
-from repro.net.simulator import TorusNetwork
+from repro.net.simulator import TICK_UNSCALE, TorusNetwork
 from repro.net.trace import SimulationResult
 from repro.obs.config import ObsConfig
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Tracer
-from repro.strategies.data import tag_kind
+from repro.strategies.data import kind_of_tag
 
 _AXIS_NAMES = ("x", "y", "z")
 
@@ -91,43 +91,56 @@ class _InstrumentedMixin:
     # lifecycle hooks (super() first, then read-only observation)
     # -------------------------------------------------------------- #
 
-    def _launch(self, u: int, d: int, v: int, pkt: Packet, vc: int) -> None:
+    def _launch(self, u: int, d: int, v: int, h: int, vc: int) -> None:
         st = self.stats
         lost0 = st.lost_packets
         rerouted0 = st.rerouted_hops
         now = self._now
-        super()._launch(u, d, v, pkt, vc)
-        dur = self._link_busy[u * self._ndirs + d] - now
+        pid = self._P_pid[h]
+        super()._launch(u, d, v, h, vc)
+        # Tick subtraction then unscaling reproduces the pre-SoA float
+        # cycle arithmetic bit-for-bit (power-of-two scaling commutes
+        # with IEEE rounding).
+        now_f = now * TICK_UNSCALE
+        dur = (self._link_busy[u * self._ndirs + d] - now) * TICK_UNSCALE
         ts = self._axis_ts
         if ts is not None:
-            ts[d >> 1].add(now, dur)
+            ts[d >> 1].add(now_f, dur)
             if st.lost_packets > lost0:
                 self.metrics.counter("lost_packets").inc()
             if st.rerouted_hops > rerouted0:
                 self.metrics.counter("rerouted_hops").inc()
         tr = self.tracer
-        if tr is not None and tr.want(pkt.pid):
+        if tr is not None and tr.want(pid):
             kinds = tr.kinds
             if "link" in kinds:
-                tr.emit(now, "link", u, d, dur, pkt.pid)
+                tr.emit(now_f, "link", u, d, dur, pid)
             if "reroute" in kinds and st.rerouted_hops > rerouted0:
-                tr.emit(now, "reroute", u, d, pkt.pid)
+                tr.emit(now_f, "reroute", u, d, pid)
             if "drop" in kinds and st.lost_packets > lost0:
-                tr.emit(now, "drop", u, d, pkt.pid)
+                tr.emit(now_f, "drop", u, d, pid)
 
-    def _on_arrive(self, v: int, in_dir: int, pkt: Packet) -> None:
-        q = self._vcq[(v * self._ndirs + in_dir) * self._nvcs + pkt.vc]
-        before = len(q)
-        super()._on_arrive(v, in_dir, pkt)
-        depth = len(q)
+    def _on_arrive(self, v: int, port: int, h: int) -> None:
+        qi = v * self._nports + port
+        before = self._q_n[qi]
+        super()._on_arrive(v, port, h)
+        depth = self._q_n[qi]
         if depth > before and depth >= 2:
             # The packet joined a non-empty VC buffer: it is waiting
             # behind others for the next link (queue-wait pressure).
             if self.metrics is not None:
                 self.metrics.gauge("vc_queue_depth").set(depth)
             tr = self.tracer
-            if tr is not None and "queue" in tr.kinds and tr.want(pkt.pid):
-                tr.emit(self._now, "queue", v, in_dir, depth, pkt.pid)
+            pid = self._P_pid[h]
+            if tr is not None and "queue" in tr.kinds and tr.want(pid):
+                tr.emit(
+                    self._now * TICK_UNSCALE,
+                    "queue",
+                    v,
+                    self._port_dir[port],
+                    depth,
+                    pid,
+                )
 
     def _cpu_complete(self, u: int) -> None:
         st = self.stats
@@ -147,31 +160,38 @@ class _InstrumentedMixin:
             self.metrics.gauge("inj_fifo_depth").set(used)
         tr = self.tracer
         if tr is not None and "inject" in tr.kinds and tr.want(pid):
-            tr.emit(self._now, "inject", u, pid)
+            tr.emit(self._now * TICK_UNSCALE, "inject", u, pid)
 
-    def _finish_delivery(self, u: int, pkt: Packet) -> None:
+    def _finish_delivery(self, u: int, h: int) -> None:
         st = self.stats
         delivered0 = st.delivered_packets
-        super()._finish_delivery(u, pkt)
+        # Snapshot the pool columns up front: the base class returns the
+        # handle to the free list, and a duplicate discard (fault runs)
+        # frees it without delivering.
+        pid = self._P_pid[h]
+        src = self._P_src[h]
+        inject_t = self._P_inject[h]
+        tag = self._P_tag[h]
+        final = self._P_final[h] == u
+        super()._finish_delivery(u, h)
         if st.delivered_packets == delivered0:
             return  # receiver-side duplicate discard (fault runs)
-        final = pkt.final_dst == u
         if self.metrics is not None:
             if final:
-                self._lat_hist.observe(self._now - pkt.inject_time)
+                self._lat_hist.observe((self._now - inject_t) * TICK_UNSCALE)
             backlog = len(self._fwd_pending[u])
             if backlog:
                 self.metrics.gauge("forward_backlog").set(backlog)
         tr = self.tracer
-        if tr is not None and "deliver" in tr.kinds and tr.want(pkt.pid):
+        if tr is not None and "deliver" in tr.kinds and tr.want(pid):
             tr.emit(
-                self._now,
+                self._now * TICK_UNSCALE,
                 "deliver",
                 u,
-                pkt.pid,
-                pkt.src,
-                pkt.inject_time,
-                tag_kind(pkt),
+                pid,
+                src,
+                inject_t * TICK_UNSCALE,
+                kind_of_tag(tag),
                 final,
             )
 
@@ -187,7 +207,7 @@ class _InstrumentedMixin:
             self.metrics.counter("retransmitted_packets").inc()
         tr = self.tracer
         if tr is not None and "retx" in tr.kinds:
-            tr.emit(self._now, "retx", src, seq, attempt)
+            tr.emit(self._now * TICK_UNSCALE, "retx", src, seq, attempt)
 
     # -------------------------------------------------------------- #
     # result assembly

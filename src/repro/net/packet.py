@@ -9,6 +9,16 @@ messages, ...).
 :class:`PacketSpec` is the strategy-facing description of a packet to
 inject; the simulator turns specs into packets at injection time so that
 multi-million-packet schedules can be generated lazily.
+
+The timed simulator does not move :class:`Packet` *objects* through the
+network: it allocates an integer handle from a :class:`PacketPool` — a
+struct-of-arrays store whose parallel columns (``src``, ``dst``,
+``wire_bytes``, ``hops``, ...) are plain flat lists indexed by handle —
+and threads that handle through queues, events and launches.  A real
+``Packet`` is materialized only at the delivery boundary, where node
+programs consume it.  The pool recycles handles through a LIFO free list
+and doubles its columns in place when it runs dry, so column references
+borrowed by the simulator stay valid across regrowth.
 """
 
 from __future__ import annotations
@@ -150,4 +160,143 @@ class Packet:
             halfbits=(pid * 0x9E3779B1) >> 7,
             seq=spec.seq,
             downphase=False,
+        )
+
+
+class PacketPool:
+    """Struct-of-arrays packet store with integer handles.
+
+    Each live packet is an index ``h`` into the parallel columns below;
+    the timed simulator queues, routes and retires handles instead of
+    ``Packet`` objects.  Columns mirror :class:`Packet` fields, except
+    that ``mode`` is stored as a plain ``int`` (the :class:`RoutingMode`
+    value) and ``inject_time`` is stored in whatever timebase the owner
+    uses (the simulator stores scaled ticks).  ``deliver_time`` has no
+    column: delivery is the moment the handle dies, so the owner passes
+    the delivery timestamp straight to :meth:`materialize`.
+
+    Handles are recycled through a LIFO ``free`` list (hot handles stay
+    cache-warm).  When the pool runs dry it doubles every column *in
+    place* via ``list.extend``, so references to the column lists held
+    by the simulator remain valid across regrowth.
+    """
+
+    __slots__ = (
+        "capacity",
+        "free",
+        "pid",
+        "src",
+        "dst",
+        "wire_bytes",
+        "mode",
+        "tag",
+        "final_dst",
+        "payload_bytes",
+        "inject_time",
+        "hops",
+        "vc",
+        "halfbits",
+        "seq",
+        "downphase",
+    )
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity < 1:
+            raise ValueError("pool capacity must be positive")
+        self.capacity = capacity
+        # Popped from the tail: handle 0 is handed out first.
+        self.free = list(range(capacity - 1, -1, -1))
+        self.pid = [0] * capacity
+        self.src = [0] * capacity
+        self.dst = [0] * capacity
+        self.wire_bytes = [0] * capacity
+        self.mode = [0] * capacity
+        self.tag: list[Hashable] = [None] * capacity
+        self.final_dst = [0] * capacity
+        self.payload_bytes = [0] * capacity
+        self.inject_time = [0.0] * capacity
+        self.hops = [0] * capacity
+        self.vc = [NO_VC] * capacity
+        self.halfbits = [0] * capacity
+        self.seq = [-1] * capacity
+        self.downphase = [False] * capacity
+
+    @property
+    def live(self) -> int:
+        """Number of handles currently allocated."""
+        return self.capacity - len(self.free)
+
+    def grow(self) -> None:
+        """Double capacity, extending every column in place."""
+        old = self.capacity
+        new = old * 2
+        self.pid.extend([0] * old)
+        self.src.extend([0] * old)
+        self.dst.extend([0] * old)
+        self.wire_bytes.extend([0] * old)
+        self.mode.extend([0] * old)
+        self.tag.extend([None] * old)
+        self.final_dst.extend([0] * old)
+        self.payload_bytes.extend([0] * old)
+        self.inject_time.extend([0.0] * old)
+        self.hops.extend([0] * old)
+        self.vc.extend([NO_VC] * old)
+        self.halfbits.extend([0] * old)
+        self.seq.extend([-1] * old)
+        self.downphase.extend([False] * old)
+        self.free.extend(range(new - 1, old - 1, -1))
+        self.capacity = new
+
+    def alloc(
+        self, pid: int, src: int, spec: PacketSpec, inject_time: float
+    ) -> int:
+        """Allocate a handle initialized exactly as
+        :meth:`Packet.from_spec` would initialize a packet."""
+        free = self.free
+        if not free:
+            self.grow()
+            free = self.free
+        h = free.pop()
+        self.pid[h] = pid
+        self.src[h] = src
+        self.dst[h] = spec.dst
+        self.wire_bytes[h] = spec.wire_bytes
+        self.mode[h] = int(spec.mode)
+        self.tag[h] = spec.tag
+        self.final_dst[h] = spec.final_dst if spec.final_dst >= 0 else spec.dst
+        self.payload_bytes[h] = spec.payload_bytes
+        self.inject_time[h] = inject_time
+        self.hops[h] = 0
+        self.vc[h] = NO_VC
+        self.halfbits[h] = (pid * 0x9E3779B1) >> 7
+        self.seq[h] = spec.seq
+        self.downphase[h] = False
+        return h
+
+    def release(self, h: int) -> None:
+        """Return a handle to the free list (caller must not use it
+        again until re-allocated)."""
+        self.free.append(h)
+
+    def materialize(
+        self, h: int, inject_time: float, deliver_time: float
+    ) -> Packet:
+        """Build a real :class:`Packet` from a handle at the delivery
+        boundary, with caller-supplied (unscaled) timestamps."""
+        return Packet(
+            self.pid[h],
+            self.src[h],
+            self.dst[h],
+            self.wire_bytes[h],
+            RoutingMode(self.mode[h]),
+            self.tag[h],
+            self.final_dst[h],
+            self.payload_bytes[h],
+            inject_time,
+            deliver_time,
+            self.hops[h],
+            self.vc[h],
+            self.halfbits[h],
+            self.seq[h],
+            self.downphase[h],
         )

@@ -56,12 +56,20 @@ def chunks_of(packet: Packet) -> tuple[DataChunk, ...]:
     return ()
 
 
-def tag_kind(packet: Packet) -> Optional[str]:
-    """The traffic-class marker of a packet's tag, if any."""
-    tag = packet.tag
+def kind_of_tag(tag: object) -> Optional[str]:
+    """The traffic-class marker of a raw packet tag, if any.
+
+    Works on the bare tag value so struct-of-arrays consumers (the
+    instrumented/checked networks read the pool's ``tag`` column, not a
+    :class:`Packet`) share one dispatch rule with :func:`tag_kind`."""
     if isinstance(tag, ChunkTag):
         return tag.kind
     return tag if isinstance(tag, str) else None
+
+
+def tag_kind(packet: Packet) -> Optional[str]:
+    """The traffic-class marker of a packet's tag, if any."""
+    return kind_of_tag(packet.tag)
 
 
 # --------------------------------------------------------------------- #

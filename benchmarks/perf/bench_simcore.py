@@ -16,8 +16,12 @@ repo root (committed, so the perf trajectory is tracked across PRs):
 committed ``baseline.json`` for the same scale and exits non-zero on a
 >2x slowdown (events/second is used rather than raw wall time so the
 gate tracks simulator work, not machine speed differences in the sweep
-fan-out).  Refresh the baseline with ``--write-baseline`` after an
-intentional perf-relevant change, on a quiet machine.
+fan-out), and additionally gates the **analytics-off overhead**: the
+default ``simulate_alltoall`` path (observability disabled) must stay
+within 5 % of the bare ``TorusNetwork`` core on the same program — the
+zero-overhead-when-disabled contract, measured rather than assumed.
+Refresh the baseline with ``--write-baseline`` after an intentional
+perf-relevant change, on a quiet machine.
 
 Usage::
 
@@ -108,6 +112,123 @@ def bench_single_point(scale: str) -> dict:
     }
 
 
+#: Max tolerated overhead of the default (analytics-off) path over the
+#: bare simulator core, as a fraction of its wall time.
+ANALYTICS_OFF_LIMIT = 0.05
+
+#: A/B sample budget per scale: (repeats, runs aggregated per sample).
+#: min-of-N CPU time converges on the true floor of each leg, and both
+#: legs run identical work.  A single ci-scale run is ~0.1s — short
+#: enough that CPU frequency and cache state swing individual samples
+#: by several percent, so ci aggregates 3 runs per sample and takes 9
+#: samples; a paper-scale run is already seconds long, so 3 plain
+#: samples suffice (and keep the bench under a minute).
+ANALYTICS_OFF_BUDGET = {
+    "ci": (9, 3),
+    "paper": (3, 1),
+}
+
+
+def bench_analytics_overhead(scale: str) -> dict:
+    """A/B gate for the zero-overhead-when-disabled contract.
+
+    Times the network the default path selects (``build_network`` with
+    no obs/check/faults — exactly what ``simulate_alltoall`` runs when
+    observability is off) against a bare ``TorusNetwork`` on the *same*
+    prebuilt program, interleaved, CPU-time min-of-N.  Link analytics,
+    tracing and checking are all opt-in subclasses, so the two must be
+    within noise of each other; a default path that runs >5 % slower
+    than the raw core means someone leaked instrumentation into the
+    analytics-off configuration.
+    """
+    from repro.model.machine import MachineParams
+
+    spec, msg, seed, _ = POINTS[scale]
+    shape = TorusShape.parse(spec)
+    params = MachineParams.bluegene_l()
+    strategy = ARDirect()
+
+    # Untimed warmup of both legs: the first simulation of a process
+    # pays allocator growth and cold caches, which would otherwise land
+    # entirely on the first timed sample.
+    build_network(shape, params).run(
+        strategy.build_program(shape, msg, params, seed)
+    )
+    TorusNetwork(shape, params).run(
+        strategy.build_program(shape, msg, params, seed)
+    )
+
+    repeats, inner = ANALYTICS_OFF_BUDGET[scale]
+    best_default = None
+    best_core = None
+    ratios = []
+    events = None
+    for _ in range(repeats):
+        # Interleaved A/B over the identical prebuilt program, CPU time
+        # (process_time is blind to scheduler preemption): only
+        # net.run() is inside the timed region, so the comparison
+        # measures the network class the default path selected, not
+        # program-build or model-prediction noise.  The verdict uses the
+        # median of *paired* per-iteration ratios — both legs of a pair
+        # see the same machine state, so common-mode noise (frequency
+        # scaling, cache pressure from neighbors) divides out.
+        runs_default = [
+            (strategy.build_program(shape, msg, params, seed),
+             build_network(shape, params))
+            for _ in range(inner)
+        ]
+        t0 = time.process_time()
+        for program, net in runs_default:
+            res_default = net.run(program)
+        dt_default = time.process_time() - t0
+        best_default = (
+            dt_default if best_default is None
+            else min(best_default, dt_default)
+        )
+
+        runs_core = [
+            (strategy.build_program(shape, msg, params, seed),
+             TorusNetwork(shape, params))
+            for _ in range(inner)
+        ]
+        t0 = time.process_time()
+        for program, net in runs_core:
+            res_core = net.run(program)
+        dt_core = time.process_time() - t0
+        best_core = dt_core if best_core is None else min(best_core, dt_core)
+        ratios.append(dt_default / dt_core)
+        if res_default.events_processed != res_core.events_processed:
+            raise SystemExit(
+                "bench precondition failed: default path and bare core "
+                "replayed different event streams "
+                f"({res_default.events_processed} vs "
+                f"{res_core.events_processed})"
+            )
+        events = res_core.events_processed
+    assert best_default is not None and best_core is not None
+    ratios.sort()
+    median_ratio = ratios[len(ratios) // 2]
+    floor_ratio = best_default / best_core
+    # Two independent overhead estimators: the ratio of per-leg floors
+    # and the median paired ratio.  A real instrumentation leak (a
+    # subclass in the default path) inflates both consistently; timing
+    # noise rarely inflates both at once, so the gate takes the smaller
+    # estimate and stays robust on loud machines.
+    overhead = min(median_ratio, floor_ratio) - 1.0
+    return {
+        "name": f"analytics_off_overhead_{scale}",
+        "shape": spec,
+        "msg_bytes": msg,
+        "seed": seed,
+        "repeats": repeats,
+        "events": events,
+        "cpu_s_default": round(best_default, 4),
+        "cpu_s_core": round(best_core, 4),
+        "median_ratio": round(median_ratio, 4),
+        "overhead_frac": round(overhead, 4),
+    }
+
+
 #: Worker count of the parallel leg of the sweep-scaling benchmark.
 SWEEP_WORKERS = 4
 
@@ -145,6 +266,21 @@ def check(report: dict, baseline_path: Path) -> int:
     base_by_name = {b["name"]: b for b in baseline["benchmarks"]}
     failures = []
     for bench in report["benchmarks"]:
+        if "overhead_frac" in bench:
+            # Self-contained gate (no baseline needed): the default
+            # analytics-off path may not exceed the bare core by more
+            # than ANALYTICS_OFF_LIMIT.
+            frac = bench["overhead_frac"]
+            verdict = "FAIL" if frac > ANALYTICS_OFF_LIMIT else "ok"
+            print(
+                f"  {bench['name']}: default path "
+                f"{bench['cpu_s_default']}s vs core "
+                f"{bench['cpu_s_core']}s (overhead {frac * 100:+.1f}%, "
+                f"limit +{ANALYTICS_OFF_LIMIT * 100:.0f}%) [{verdict}]"
+            )
+            if frac > ANALYTICS_OFF_LIMIT:
+                failures.append(bench["name"])
+            continue
         base = base_by_name.get(bench["name"])
         if base is None:
             continue
@@ -240,6 +376,7 @@ def main(argv: list[str] | None = None) -> int:
         "cpus": os.cpu_count(),
         "benchmarks": [
             bench_single_point(args.scale),
+            bench_analytics_overhead(args.scale),
             bench_sweep_scaling(args.scale),
         ],
     }

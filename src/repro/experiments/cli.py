@@ -19,9 +19,13 @@ lifecycle events for every simulated point — a ``.json`` path gets a
 Chrome trace-event file you can drop into https://ui.perfetto.dev, any
 other extension gets JSONL.  ``--metrics PATH`` writes the per-point
 metrics (per-axis link-utilization time series, latency histograms,
-queue/FIFO gauges) plus a cross-point aggregate as JSON.  Observed runs
-bypass the result cache so they always simulate.  ``--cache-stats``
-prints runner cache counters; ``-v``/``-q`` control log verbosity.
+queue/FIFO gauges) plus a cross-point aggregate as JSON.  ``--report
+DIR`` writes a self-contained HTML run report + JSON sidecar (per-axis
+percent-of-peak utilization with heatmaps, phase bandwidth, congestion
+hot-spots, analytic-model diff, provenance) covering every point of the
+invocation — see DESIGN.md section 14.  Observed runs bypass the result
+cache so they always simulate.  ``--cache-stats`` prints runner cache
+counters; ``-v``/``-q`` control log verbosity.
 
 Verification (DESIGN.md section 11): ``--check`` reruns every simulation
 on the invariant-checked network — packet conservation, exactly-once
@@ -173,6 +177,16 @@ def main(argv: list[str] | None = None) -> int:
         "(per-axis utilization time series, latency histograms, gauges)",
     )
     runp.add_argument(
+        "--report",
+        metavar="DIR",
+        default=None,
+        help="write a self-contained HTML run report + JSON sidecar to "
+        "DIR (per-axis percent-of-peak utilization heatmaps, phase "
+        "bandwidth, congestion hot-spots, analytic-model diff; one "
+        "comparative report across every experiment of this "
+        "invocation); implies link-stats collection",
+    )
+    runp.add_argument(
         "--check",
         action="store_true",
         help="run every simulation on the invariant-checked network "
@@ -244,7 +258,7 @@ def main(argv: list[str] | None = None) -> int:
 
     counters.reset()
 
-    obs_on = bool(args.trace or args.metrics)
+    obs_on = bool(args.trace or args.metrics or args.report)
     if obs_on:
         from repro.obs.config import ObsConfig
         from repro.obs.context import observe
@@ -252,7 +266,9 @@ def main(argv: list[str] | None = None) -> int:
         cfg = ObsConfig(
             trace=bool(args.trace),
             trace_sample=args.trace_sample,
-            metrics=bool(args.metrics),
+            # The report needs the utilization timeseries + link stats.
+            metrics=bool(args.metrics or args.report),
+            link_stats=bool(args.report),
         )
         ctx = observe(cfg)
     else:
@@ -296,11 +312,13 @@ def main(argv: list[str] | None = None) -> int:
 
     try:
         with ctx as collected, chk_ctx, supervising(sup_cfg):
+            results = []
             for eid in ids:
                 t0 = time.time()
                 result = run_experiment(
                     eid, scale=args.scale, seed=args.seed, jobs=args.jobs
                 )
+                results.append(result)
                 print(result.render())
                 print(f"  ({time.time() - t0:.1f}s)\n")
                 if args.provenance and result.provenance is not None:
@@ -310,6 +328,17 @@ def main(argv: list[str] | None = None) -> int:
                     print()
             if obs_on:
                 _write_obs_outputs(collected, args.trace, args.metrics)
+            if args.report:
+                from repro.obs.report import write_report
+
+                title = (
+                    f"Run report: {', '.join(ids)} "
+                    f"(scale={args.scale or 'default'}, seed={args.seed})"
+                )
+                html_path, json_path = write_report(
+                    args.report, collected, results, title=title
+                )
+                print(f"report: {html_path} + {json_path}")
     except KeyboardInterrupt:
         if journal_path is not None:
             print(

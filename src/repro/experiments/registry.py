@@ -75,6 +75,7 @@ def run_experiment(
     scale: Optional[str] = None,
     seed: int = 0,
     jobs: Optional[int] = None,
+    report_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Run one experiment by id, attaching a provenance record.
 
@@ -87,7 +88,15 @@ def run_experiment(
     supervision layer during this call land on ``result.failures`` (and
     an ``INCOMPLETE`` note on the rendered table), so a gracefully
     degraded sweep can never masquerade as a complete reproduction.
+
+    With *report_dir*, the experiment runs with link-stats collection
+    active and an HTML report + JSON sidecar covering its points lands
+    in that directory (see :mod:`repro.obs.report`; the CLI's
+    ``--report`` instead builds one comparative report across every
+    experiment of the invocation).
     """
+    import contextlib
+
     from repro.experiments.common import resolve_scale
     from repro.obs.provenance import provenance_record
     from repro.runner.codec import SCHEMA_VERSION
@@ -95,10 +104,18 @@ def run_experiment(
 
     log = logging.getLogger("repro.experiments")
     driver = get_driver(exp_id)
+    if report_dir is not None:
+        from repro.obs.config import ObsConfig
+        from repro.obs.context import observe
+
+        obs_ctx = observe(ObsConfig(metrics=True, link_stats=True))
+    else:
+        obs_ctx = contextlib.nullcontext([])
     before = counters.snapshot()
     log.info("running %s (scale=%s, seed=%d)", exp_id, scale, seed)
     t0 = time.perf_counter()
-    result = driver(scale=scale, seed=seed, jobs=jobs)
+    with obs_ctx as report_entries:
+        result = driver(scale=scale, seed=seed, jobs=jobs)
     wall = time.perf_counter() - t0
     after = counters.snapshot()
     new_keys = after["point_keys"][len(before["point_keys"]):]
@@ -143,4 +160,14 @@ def run_experiment(
         simulated,
         len(new_keys) - simulated,
     )
+    if report_dir is not None:
+        from repro.obs.report import write_report
+
+        html_path, json_path = write_report(
+            report_dir,
+            report_entries,
+            [result],
+            title=f"[{exp_id}] {result.title}",
+        )
+        log.info("report: %s + %s", html_path, json_path)
     return result

@@ -283,6 +283,24 @@ class FaultyTorusNetwork(TorusNetwork):
             return True
         return False
 
+    def _wants_link(self, u: int, d: int, h: int) -> bool:
+        # Fault-aware routing truth for the instrumented stall accounting:
+        # adaptive packets want any surviving direction that shrinks the
+        # fault-distance; deterministic/escape packets want exactly the
+        # up*/down* next hop.  Cold path (never called on plain runs).
+        v = self._nbr[u][d]
+        if v < 0:
+            return False
+        db = self._P_dst[h] * self._p
+        dist = self._dist
+        if self._P_mode[h] == _ADAPTIVE:
+            dv = dist[db + v]
+            du = dist[db + u]
+            if 0 <= dv < du:
+                return True
+        nh = self._nh_down if self._P_down[h] else self._nh_up
+        return nh[db + u] == d
+
     def _launch(self, u: int, d: int, v: int, h: int, vc: int) -> None:
         self._tokens[(v * self._ndirs + (d ^ 1)) * self._nvcs + vc] -= 1
         self._P_vc[h] = vc
@@ -294,6 +312,7 @@ class FaultyTorusNetwork(TorusNetwork):
         done = self._now + service * TICK_SCALE
         self._link_busy[li] = done
         self._busy_cycles[li] += service
+        self._link_packets[li] += 1
         self._post_ev(done, self._link_evs[li])
         # Track the up*/down* phase: once a packet descends on the escape
         # VC it may never climb again while it stays there; any adaptive

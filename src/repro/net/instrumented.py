@@ -27,11 +27,17 @@ What gets recorded (see :mod:`repro.obs.tracer` for the event schema):
 * metrics: per-axis link-busy time series (exported as utilization
   fractions), final-delivery latency histogram, injection-FIFO depth,
   forward backlog and VC queue depth gauges, and counters for drops,
-  retransmissions and reroutes.
+  retransmissions and reroutes;
+* link stats (``ObsConfig.link_stats``): per-link wire bytes, per-VC
+  packet counts, stall cycles (a free link with a direction-matched head
+  packet that could not launch), per-link drops, per-node
+  retransmissions, and per-phase busy cycles — the raw material for
+  :mod:`repro.obs.linkstats` and :mod:`repro.obs.report`.
 """
 
 from __future__ import annotations
 
+from dataclasses import asdict
 from typing import Optional
 
 from repro.model.machine import MachineParams
@@ -49,7 +55,15 @@ from repro.strategies.data import kind_of_tag
 _AXIS_NAMES = ("x", "y", "z")
 
 #: Slots shared by both concrete instrumented classes.
-_OBS_SLOTS = ("obs", "tracer", "metrics", "_axis_ts", "_lat_hist")
+_OBS_SLOTS = (
+    "obs", "tracer", "metrics", "_axis_ts", "_lat_hist",
+    # link-stats layer (ObsConfig.link_stats): per-link wire bytes,
+    # per-(link, vc) packet counts, per-link stall cycles + open
+    # want-since tick, per-link drops, per-node retransmissions, and
+    # per-phase per-axis busy cycles.
+    "_ls_on", "_ls_bytes", "_ls_vc_packets", "_ls_stall", "_ls_want",
+    "_ls_drops", "_ls_retx", "_ls_phase_busy",
+)
 
 
 class _InstrumentedMixin:
@@ -86,6 +100,19 @@ class _InstrumentedMixin:
             self.metrics = None
             self._axis_ts = None
             self._lat_hist = None
+        self._ls_on = obs.link_stats
+        if obs.link_stats:
+            p, ndirs = self._p, self._ndirs
+            self._ls_bytes: list[int] = [0] * (p * ndirs)
+            self._ls_vc_packets: list[int] = [0] * (p * ndirs * self._nvcs)
+            self._ls_stall: list[float] = [0.0] * (p * ndirs)
+            # Tick at which a direction-matched head packet was first seen
+            # waiting on a free link; -1.0 = no stall interval open.
+            self._ls_want: list[float] = [-1.0] * (p * ndirs)
+            self._ls_drops: list[int] = [0] * (p * ndirs)
+            self._ls_retx: list[int] = [0] * p
+            # phase marker -> per-axis busy cycles.
+            self._ls_phase_busy: dict[str, list[float]] = {}
 
     # -------------------------------------------------------------- #
     # lifecycle hooks (super() first, then read-only observation)
@@ -102,7 +129,8 @@ class _InstrumentedMixin:
         # cycle arithmetic bit-for-bit (power-of-two scaling commutes
         # with IEEE rounding).
         now_f = now * TICK_UNSCALE
-        dur = (self._link_busy[u * self._ndirs + d] - now) * TICK_UNSCALE
+        li = u * self._ndirs + d
+        dur = (self._link_busy[li] - now) * TICK_UNSCALE
         ts = self._axis_ts
         if ts is not None:
             ts[d >> 1].add(now_f, dur)
@@ -119,6 +147,56 @@ class _InstrumentedMixin:
                 tr.emit(now_f, "reroute", u, d, pid)
             if "drop" in kinds and st.lost_packets > lost0:
                 tr.emit(now_f, "drop", u, d, pid)
+        if self._ls_on:
+            self._ls_bytes[li] += self._P_wire[h]
+            # super() wrote the VC actually used into the pool column.
+            self._ls_vc_packets[li * self._nvcs + self._P_vc[h]] += 1
+            ws = self._ls_want[li]
+            if ws >= 0.0:
+                self._ls_stall[li] += (now - ws) * TICK_UNSCALE
+                self._ls_want[li] = -1.0
+            if st.lost_packets > lost0:
+                self._ls_drops[li] += 1
+            ph = kind_of_tag(self._P_tag[h]) or "untagged"
+            rec = self._ls_phase_busy.get(ph)
+            if rec is None:
+                rec = self._ls_phase_busy[ph] = [0.0] * self._ndim
+            rec[d >> 1] += dur
+
+    def _arbitrate_link(self, u: int, d: int) -> bool:
+        launched = super()._arbitrate_link(u, d)
+        if not launched and self._ls_on:
+            # A launch closes any open stall interval inside ``_launch``
+            # (which also covers launches via ``_try_send_head``); a
+            # *failed* arbitration on an existing, idle link opens one
+            # when some queued head packet wants exactly this direction.
+            li = u * self._ndirs + d
+            if self._nbr[u][d] >= 0 and self._link_busy[li] <= self._now:
+                if self._ls_head_waiting(u, d):
+                    if self._ls_want[li] < 0.0:
+                        self._ls_want[li] = self._now
+                elif self._ls_want[li] >= 0.0:
+                    # The waiter left at some unknown earlier time —
+                    # discard the interval (undercount, never overcount).
+                    self._ls_want[li] = -1.0
+        return launched
+
+    def _ls_head_waiting(self, u: int, d: int) -> bool:
+        """Whether any queued head packet at *u* wants direction *d*."""
+        m = self._pmask[u]
+        q_buf, q_hd, qsh = self._q_buf, self._q_hd, self._q_shift
+        ubase = u * self._nports
+        nvp = self._nvp
+        while m:
+            low = m & -m
+            m -= low
+            port = low.bit_length() - 1
+            h = q_buf[((ubase + port) << qsh) | q_hd[ubase + port]]
+            if port < nvp and self._P_dst[h] == u:
+                continue  # waiting for reception space, not a link
+            if self._wants_link(u, d, h):
+                return True
+        return False
 
     def _on_arrive(self, v: int, port: int, h: int) -> None:
         qi = v * self._nports + port
@@ -203,6 +281,8 @@ class _InstrumentedMixin:
         if st.retransmitted_packets == retx0:
             return
         src = ent[0] if ent is not None else -1
+        if self._ls_on and src >= 0:
+            self._ls_retx[src] += 1
         if self.metrics is not None:
             self.metrics.counter("retransmitted_packets").inc()
         tr = self.tracer
@@ -240,6 +320,40 @@ class _InstrumentedMixin:
             payload["metrics"] = snap
         if self.tracer is not None:
             payload["trace"] = self.tracer.to_payload()
+        if self._ls_on:
+            st = self.stats
+            nbr = self._nbr
+            live = [0] * self._ndim
+            for u in range(self._p):
+                for d in range(self._ndirs):
+                    if nbr[u][d] >= 0:
+                        live[d >> 1] += 1
+            payload["link_stats"] = {
+                "dims": list(self.shape.dims),
+                "torus": [bool(t) for t in self.shape.torus],
+                "ndirs": self._ndirs,
+                "nvcs": self._nvcs,
+                "beta": self._beta,
+                # Full machine parameters: the model diff reconstructs
+                # the exact packetization overhead from these.
+                "machine": asdict(self.params),
+                "time_cycles": st.last_final_delivery,
+                #: Surviving directed links per axis (== links_in_dim on
+                #: pristine shapes; smaller under dead wires/nodes).
+                "links_per_axis": live,
+                "busy_cycles": list(self._busy_cycles),
+                "packets": list(self._link_packets),
+                "wire_bytes": list(self._ls_bytes),
+                "vc_packets": list(self._ls_vc_packets),
+                "stall_cycles": list(self._ls_stall),
+                "drops": list(self._ls_drops),
+                "retx_by_node": list(self._ls_retx),
+                "phase_busy": {
+                    k: list(v)
+                    for k, v in sorted(self._ls_phase_busy.items())
+                },
+                "injected_wire_bytes": st.injected_wire_bytes,
+            }
         if payload:
             res.extras["obs"] = payload
         return res

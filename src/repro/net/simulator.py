@@ -153,7 +153,7 @@ class TorusNetwork:
         "_port_dir", "_port_vc", "_port_axis", "_pbit", "_nbit", "_pm_vc",
         "_tok_evs", "_fifo_evs", "_link_evs", "_cpu_evs", "_wake_evs",
         "_buckets", "_theap", "_immediate", "_now", "_pid", "_busy_cycles",
-        "_program", "_num_links",
+        "_link_packets", "_program", "_num_links",
         "_pool", "_P_pid", "_P_src", "_P_dst", "_P_wire", "_P_mode",
         "_P_tag", "_P_final", "_P_inject", "_P_hops", "_P_vc", "_P_half",
         "_P_seq", "_P_down",
@@ -297,6 +297,7 @@ class TorusNetwork:
         self._now = 0.0
         self._pid = itertools.count()
         self._busy_cycles: list[float] = [0.0] * (p * ndirs)
+        self._link_packets: list[int] = [0] * (p * ndirs)
         self.stats = SimStats()
         self._program: Optional[NodeProgram] = None
         # Directed links that exist; the fault-aware subclass overrides
@@ -417,6 +418,23 @@ class TorusNetwork:
             self._colm[axis][cur] + self._coord[axis][dst]
         ]
 
+    def _wants_link(self, u: int, d: int, h: int) -> bool:
+        """Whether handle *h* queued at *u* could productively use
+        direction *d* (credits aside).
+
+        Cold path: only the instrumented subclasses call this, to decide
+        whether a failed arbitration left a direction-matched head waiting
+        (stall accounting).  The fault-aware subclass overrides it with
+        its distance-table routing truth."""
+        axis = d >> 1
+        halfbits = self._P_half[h]
+        dst = self._P_dst[h]
+        if self._P_mode[h] == _ADAPTIVE:
+            return d == self._dirtab[axis][(halfbits >> axis) & 1][
+                self._colm[axis][u] + self._coord[axis][dst]
+            ]
+        return self._dor_dir(u, dst, halfbits) == d
+
     def _dor_dir(self, cur: int, dst: int, halfbits: int) -> int:
         """Dimension-order next direction, or -1 at destination."""
         coord = self._coord
@@ -522,6 +540,7 @@ class TorusNetwork:
         li = u * self._ndirs + d
         self._link_busy[li] = done
         self._busy_cycles[li] += self._svc_f[wb]
+        self._link_packets[li] += 1
         # Two inlined ``_post_ev`` calls (the hottest event producer).
         buckets = self._buckets
         ev = self._link_evs[li]
@@ -1146,6 +1165,7 @@ class TorusNetwork:
         tokens = self._tokens
         link_busy = self._link_busy
         busy_cycles = self._busy_cycles
+        link_packets = self._link_packets
         fifo_free = self._fifo_free
         recv_free = self._recv_free
         arb = self._arb
@@ -1218,6 +1238,7 @@ class TorusNetwork:
             li = u * ndirs + d
             link_busy[li] = done
             busy_cycles[li] += svc_f[wb]
+            link_packets[li] += 1
             ev = link_evs[li]
             if done <= now:
                 imm_append(ev)
@@ -1718,9 +1739,13 @@ class TorusNetwork:
         busy = np.asarray(self._busy_cycles, dtype=np.float64).reshape(
             self._p, self._ndirs
         )
+        pkts = np.asarray(self._link_packets, dtype=np.int64).reshape(
+            self._p, self._ndirs
+        )
         return SimulationResult(
             time_cycles=st.last_final_delivery,
             link_busy_cycles=busy,
+            link_packets=pkts,
             num_links=self._num_links,
             injected_packets=st.injected_packets,
             delivered_packets=st.delivered_packets,

@@ -9,6 +9,7 @@ utilization, delivery latencies and event counts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 import numpy as np
 
@@ -74,6 +75,11 @@ class SimulationResult:
     duplicate_packets: int = 0
     rerouted_hops: int = 0
     outage_cycles: float = 0.0
+    #: Per-(node, direction) packets launched onto each directed link,
+    #: same layout as :attr:`link_busy_cycles`.  Always collected (the
+    #: counter is one integer add per launch); ``None`` only on results
+    #: built by code predating the counter.
+    link_packets: Optional[np.ndarray] = None
     extras: dict = field(default_factory=dict)
 
     @property

@@ -11,6 +11,14 @@ classes carry no instrumentation and no branches):
 * **Provenance** (:mod:`repro.obs.provenance`) — schema/seed/git/config
   fingerprint plus wall-vs-simulated time, attached to every experiment
   result.
+* **Link analytics** (:mod:`repro.obs.linkstats`) — per-link/per-VC
+  utilization, percent-of-peak, hot-spot and model-diff analysis over
+  the counters a ``link_stats`` run collects.
+* **Run reports** (:mod:`repro.obs.report`) — self-contained HTML +
+  JSON-sidecar reports over a sweep's collected payloads (the CLI's
+  ``--report DIR``).  Import it as ``repro.obs.report`` — it pulls in
+  no simulator code, but is kept out of this namespace so importing
+  :mod:`repro.obs.config` stays featherweight for pool workers.
 
 Activation: pass an :class:`ObsConfig` to
 :func:`repro.api.simulate_alltoall` / :func:`repro.runner.run_points`,
@@ -20,6 +28,7 @@ or wrap a whole sweep in :func:`observe` (what the CLI's ``--trace`` /
 
 from repro.obs.config import ObsConfig
 from repro.obs.context import active_config, collect, collected, observe
+from repro.obs.linkstats import LinkAnalytics, parse_point_label
 from repro.obs.logconf import setup_logging
 from repro.obs.metrics import (
     Counter,
@@ -48,6 +57,8 @@ __all__ = [
     "collect",
     "collected",
     "observe",
+    "LinkAnalytics",
+    "parse_point_label",
     "setup_logging",
     "Counter",
     "Gauge",

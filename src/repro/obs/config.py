@@ -44,6 +44,12 @@ class ObsConfig:
         Initial time-series bucket width, cycles.
     metrics_max_buckets:
         Bucket cap per series (width doubles beyond it).
+    link_stats:
+        Collect per-link analytics (wire bytes, per-VC packet counts,
+        stall cycles, per-link drops, per-node retransmissions, per-phase
+        busy cycles) and attach them to the result as
+        ``extras["obs"]["link_stats"]`` for
+        :mod:`repro.obs.linkstats` / :mod:`repro.obs.report`.
     """
 
     trace: bool = False
@@ -53,6 +59,7 @@ class ObsConfig:
     metrics: bool = False
     metrics_bucket_cycles: float = DEFAULT_BUCKET_CYCLES
     metrics_max_buckets: int = DEFAULT_MAX_BUCKETS
+    link_stats: bool = False
 
     def __post_init__(self) -> None:
         if self.trace_capacity < 1:
@@ -73,4 +80,4 @@ class ObsConfig:
     @property
     def enabled(self) -> bool:
         """Whether this config instruments the network at all."""
-        return self.trace or self.metrics
+        return self.trace or self.metrics or self.link_stats

@@ -38,7 +38,8 @@ from repro.runner.point import SimPoint
 
 #: Version of both the fingerprint layout and the result payload.  Bumping
 #: it orphans every previously cached result (they are keyed by it).
-SCHEMA_VERSION = 1
+#: v2: SimulationResult grew the per-link ``link_packets`` counter.
+SCHEMA_VERSION = 2
 
 
 # --------------------------------------------------------------------- #
@@ -170,9 +171,12 @@ def encode_run(run: AllToAllRun) -> dict:
     result = {
         f.name: getattr(r, f.name)
         for f in fields(SimulationResult)
-        if f.name != "link_busy_cycles"
+        if f.name not in ("link_busy_cycles", "link_packets")
     }
     result["link_busy_cycles"] = r.link_busy_cycles.tolist()
+    result["link_packets"] = (
+        None if r.link_packets is None else r.link_packets.tolist()
+    )
     result["extras"] = canonical_extras(r.extras)
     return {
         "schema": SCHEMA_VERSION,
@@ -194,6 +198,10 @@ def decode_run(payload: dict) -> AllToAllRun:
     result["link_busy_cycles"] = np.asarray(
         result["link_busy_cycles"], dtype=np.float64
     )
+    if result.get("link_packets") is not None:
+        result["link_packets"] = np.asarray(
+            result["link_packets"], dtype=np.int64
+        )
     return AllToAllRun(
         strategy=payload["strategy"],
         shape=TorusShape(

@@ -140,13 +140,13 @@ class TestProvenance:
     def test_run_experiment_attaches_provenance(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
         from repro.experiments.registry import run_experiment
-        from repro.runner import counters
+        from repro.runner import SCHEMA_VERSION, counters
 
         counters.reset()
         result = run_experiment("fig5_vmesh_pred", scale="tiny", seed=0)
         prov = result.provenance
         assert prov is not None
-        assert prov["schema_version"] == 1
+        assert prov["schema_version"] == SCHEMA_VERSION
         assert prov["scale"] == "tiny"
         assert prov["points"] == (
             prov["points_simulated"] + prov["points_cached"]

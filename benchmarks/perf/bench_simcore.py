@@ -48,8 +48,25 @@ from repro.api import simulate_alltoall  # noqa: E402
 from repro.model.torus import TorusShape  # noqa: E402
 from repro.net.faultsim import build_network  # noqa: E402
 from repro.net.simulator import TorusNetwork  # noqa: E402
+from repro.obs.provenance import git_describe  # noqa: E402
 from repro.runner import SimPoint, run_points  # noqa: E402
 from repro.strategies import ARDirect  # noqa: E402
+
+#: Layout version of the bench report / committed baseline (bumped when
+#: fields change meaning; ``--check`` warns on a mismatched baseline).
+BENCH_SCHEMA = 2
+
+
+def bench_provenance() -> dict:
+    """Where/when a bench report was measured — rides into the report,
+    the merged baseline, and the run-history store's bench records."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "git": git_describe(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count(),
+    }
 
 
 def assert_observability_disabled() -> None:
@@ -264,6 +281,20 @@ def bench_sweep_scaling(scale: str) -> dict:
 def check(report: dict, baseline_path: Path) -> int:
     baseline = json.loads(baseline_path.read_text())
     base_by_name = {b["name"]: b for b in baseline["benchmarks"]}
+    # Provenance sanity (warn-only: the numeric gates below still run —
+    # a stale-layout baseline usually still has comparable numbers, but
+    # the reader deserves to know the comparison crosses schema versions).
+    base_schema = baseline.get("schema")
+    if base_schema != report["schema"]:
+        print(
+            f"  WARNING: baseline schema {base_schema} != report schema "
+            f"{report['schema']}; refresh with --write-baseline"
+        )
+    if "provenance" not in baseline:
+        print(
+            "  WARNING: baseline has no provenance record (predates "
+            "schema 2); refresh with --write-baseline"
+        )
     failures = []
     for bench in report["benchmarks"]:
         if "overhead_frac" in bench:
@@ -368,12 +399,14 @@ def main(argv: list[str] | None = None) -> int:
     args = ap.parse_args(argv)
 
     assert_observability_disabled()
+    prov = bench_provenance()
     report = {
-        "schema": 1,
+        "schema": BENCH_SCHEMA,
         "scale": args.scale,
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "cpus": os.cpu_count(),
+        "python": prov["python"],
+        "machine": prov["machine"],
+        "cpus": prov["cpus"],
+        "provenance": prov,
         "benchmarks": [
             bench_single_point(args.scale),
             bench_analytics_overhead(args.scale),

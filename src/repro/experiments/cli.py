@@ -41,6 +41,18 @@ simulate — the merged results are bit-identical to an uninterrupted run.
 wall clock; ``--retries N`` bounds reschedules of timed-out/crashed
 points.  ``REPRO_CHAOS=kill:0.1,hang:0.05,seed=0`` injects deterministic
 worker deaths and stalls to exercise the supervision layer.
+
+Telemetry & history (DESIGN.md section 15): a live sweep status line
+(TTY) or periodic progress log lines (elsewhere) render by default —
+``--no-progress`` or ``REPRO_PROGRESS=0`` disables, ``--quiet`` implies
+off.  ``--profile PATH`` runs the phase-level time profiler and writes
+per-point + aggregate phase attributions as JSON (with ``--trace *.json``
+the phase spans also land in the Chrome trace).  ``--history DIR``
+appends every finished experiment to a cross-run history store
+(``DIR/history.jsonl``); ``--compare REF`` then diffs the newest record
+against REF (an index, id prefix, ``prev`` or ``last``) and prints a
+regression/improvement/neutral verdict.  ``python -m repro.obs.history``
+inspects and diffs the store standalone.
 """
 
 from __future__ import annotations
@@ -55,24 +67,56 @@ import time
 from repro.experiments.registry import ALL, EXPERIMENTS, run_experiment
 
 
-def _write_obs_outputs(collected, trace_path, metrics_path) -> None:
-    """Write trace/metrics files from the collected per-point payloads."""
+def _write_obs_outputs(
+    collected, trace_path, metrics_path, profile_path=None
+) -> None:
+    """Write trace/metrics/profile files from the per-point payloads."""
     from repro.obs.metrics import aggregate_metrics
     from repro.obs.tracer import write_chrome_trace, write_jsonl
 
     if trace_path:
         traces = [c for c in collected if "trace" in c]
         if trace_path.endswith(".json"):
+            # Phase-profile span tracks ride in the same Perfetto view
+            # as the packet tracks when both layers are on.
+            extra = []
+            if profile_path:
+                from repro.obs.profile import profile_chrome_events
+
+                for i, c in enumerate(collected):
+                    if "profile" in c:
+                        extra.extend(
+                            profile_chrome_events(
+                                c["profile"],
+                                pid=10_000_000 + i,
+                                label=c["point"],
+                            )
+                        )
             write_chrome_trace(
                 [c["trace"] for c in traces],
                 trace_path,
                 labels=[c["point"] for c in traces],
+                extra_records=extra or None,
             )
         else:
             with open(trace_path, "w", encoding="utf-8") as fh:
                 for c in traces:
                     write_jsonl(c["trace"], fh, point=c["point"])
         print(f"trace: {len(traces)} point(s) -> {trace_path}")
+    if profile_path:
+        from repro.obs.profile import merge_profiles
+
+        per_point = [c for c in collected if "profile" in c]
+        doc = {
+            "points": [
+                {"point": c["point"], "profile": c["profile"]}
+                for c in per_point
+            ],
+            "aggregate": merge_profiles([c["profile"] for c in per_point]),
+        }
+        with open(profile_path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+        print(f"profile: {len(per_point)} point(s) -> {profile_path}")
     if metrics_path:
         per_point = [c for c in collected if "metrics" in c]
         doc = {
@@ -115,7 +159,8 @@ def _print_cache_stats() -> None:
             f"{counters.pool_breaks} pool break(s), "
             f"{counters.quarantined} quarantined; "
             f"journal {counters.journal_hits} hit(s), "
-            f"{counters.journal_records} record(s)"
+            f"{counters.journal_records} record(s); "
+            f"{counters.heartbeats} heartbeat(s)"
         )
 
 
@@ -225,6 +270,45 @@ def main(argv: list[str] | None = None) -> int:
         "simulate; the journal keeps being appended to",
     )
     runp.add_argument(
+        "--profile",
+        metavar="PATH",
+        default=None,
+        help="run the phase-level time profiler and write per-point + "
+        "aggregate phase attributions (busy cycles per phase/axis, "
+        "spans, wall/CPU estimates) as JSON; with --trace *.json the "
+        "phase spans also land in the Chrome trace",
+    )
+    runp.add_argument(
+        "--history",
+        metavar="DIR",
+        default=None,
+        help="append each finished experiment to the cross-run history "
+        "store at DIR/history.jsonl (inspect/diff with "
+        "python -m repro.obs.history)",
+    )
+    runp.add_argument(
+        "--compare",
+        metavar="REF",
+        default=None,
+        help="after the run, diff the newest history record against REF "
+        "(index, id prefix, 'prev' or 'last') and print the "
+        "regression/improvement/neutral verdict; requires --history",
+    )
+    runp.add_argument(
+        "--progress",
+        dest="progress",
+        action="store_true",
+        default=None,
+        help="force the live sweep progress renderer on "
+        "(default: on unless --quiet or REPRO_PROGRESS=0)",
+    )
+    runp.add_argument(
+        "--no-progress",
+        dest="progress",
+        action="store_false",
+        help="disable the live sweep progress renderer",
+    )
+    runp.add_argument(
         "--cache-stats",
         action="store_true",
         help="print cache hit/miss/store/corrupt counters after the run",
@@ -248,6 +332,10 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.no_cache:
         os.environ["REPRO_CACHE"] = "0"
+    if args.compare is not None and args.history is None:
+        parser.error("--compare requires --history")
+    if args.progress is not None:
+        os.environ["REPRO_PROGRESS"] = "1" if args.progress else "0"
 
     ids = list(ALL) if args.exp_id == "all" else [args.exp_id]
 
@@ -258,7 +346,7 @@ def main(argv: list[str] | None = None) -> int:
 
     counters.reset()
 
-    obs_on = bool(args.trace or args.metrics or args.report)
+    obs_on = bool(args.trace or args.metrics or args.report or args.profile)
     if obs_on:
         from repro.obs.config import ObsConfig
         from repro.obs.context import observe
@@ -269,6 +357,7 @@ def main(argv: list[str] | None = None) -> int:
             # The report needs the utilization timeseries + link stats.
             metrics=bool(args.metrics or args.report),
             link_stats=bool(args.report),
+            profile=bool(args.profile),
         )
         ctx = observe(cfg)
     else:
@@ -316,7 +405,11 @@ def main(argv: list[str] | None = None) -> int:
             for eid in ids:
                 t0 = time.time()
                 result = run_experiment(
-                    eid, scale=args.scale, seed=args.seed, jobs=args.jobs
+                    eid,
+                    scale=args.scale,
+                    seed=args.seed,
+                    jobs=args.jobs,
+                    history=args.history,
                 )
                 results.append(result)
                 print(result.render())
@@ -327,7 +420,9 @@ def main(argv: list[str] | None = None) -> int:
                     )
                     print()
             if obs_on:
-                _write_obs_outputs(collected, args.trace, args.metrics)
+                _write_obs_outputs(
+                    collected, args.trace, args.metrics, args.profile
+                )
             if args.report:
                 from repro.obs.report import write_report
 
@@ -336,9 +431,29 @@ def main(argv: list[str] | None = None) -> int:
                     f"(scale={args.scale or 'default'}, seed={args.seed})"
                 )
                 html_path, json_path = write_report(
-                    args.report, collected, results, title=title
+                    args.report,
+                    collected,
+                    results,
+                    title=title,
+                    history=args.history,
                 )
                 print(f"report: {html_path} + {json_path}")
+            if args.compare is not None:
+                from repro.obs.history import (
+                    RunHistory,
+                    diff_records,
+                    format_diff,
+                )
+
+                store = RunHistory(args.history)
+                recs = store.records()
+                try:
+                    old = store.resolve(args.compare, recs)
+                    new = store.resolve("last", recs)
+                except LookupError as exc:
+                    print(f"compare: {exc}", file=sys.stderr)
+                else:
+                    print(format_diff(diff_records(old, new)))
     except KeyboardInterrupt:
         if journal_path is not None:
             print(

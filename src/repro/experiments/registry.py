@@ -76,6 +76,7 @@ def run_experiment(
     seed: int = 0,
     jobs: Optional[int] = None,
     report_dir: Optional[str] = None,
+    history: Optional[str] = None,
 ) -> ExperimentResult:
     """Run one experiment by id, attaching a provenance record.
 
@@ -94,6 +95,14 @@ def run_experiment(
     in that directory (see :mod:`repro.obs.report`; the CLI's
     ``--report`` instead builds one comparative report across every
     experiment of the invocation).
+
+    With *history* (a directory or ``.jsonl`` path), the finished
+    result is appended to the cross-run history store
+    (:mod:`repro.obs.history`): the deterministic payload — columns,
+    a digest of the rows, per-column metric means — is digested for
+    regression diffing, and non-deterministic context (wall time, git,
+    cache split) rides alongside as metadata.  Identical results from
+    any job count append identical payload digests.
     """
     import contextlib
 
@@ -160,6 +169,17 @@ def run_experiment(
         simulated,
         len(new_keys) - simulated,
     )
+    if history is not None:
+        from repro.obs.history import RunHistory
+
+        store = RunHistory(history)
+        record = store.append_experiment(result)
+        log.info(
+            "history: %s appended run %s (payload digest %s)",
+            store.path,
+            record["id"],
+            record["payload_digest"][:12],
+        )
     if report_dir is not None:
         from repro.obs.report import write_report
 
@@ -168,6 +188,7 @@ def run_experiment(
             report_entries,
             [result],
             title=f"[{exp_id}] {result.title}",
+            history=history,
         )
         log.info("report: %s + %s", html_path, json_path)
     return result

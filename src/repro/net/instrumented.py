@@ -37,6 +37,7 @@ What gets recorded (see :mod:`repro.obs.tracer` for the event schema):
 
 from __future__ import annotations
 
+import time
 from dataclasses import asdict
 from typing import Optional
 
@@ -63,6 +64,8 @@ _OBS_SLOTS = (
     # per-phase per-axis busy cycles.
     "_ls_on", "_ls_bytes", "_ls_vc_packets", "_ls_stall", "_ls_want",
     "_ls_drops", "_ls_retx", "_ls_phase_busy",
+    # phase profiler (ObsConfig.profile) + its host-clock stamp.
+    "_prof", "_prof_t0",
 )
 
 
@@ -113,6 +116,18 @@ class _InstrumentedMixin:
             self._ls_retx: list[int] = [0] * p
             # phase marker -> per-axis busy cycles.
             self._ls_phase_busy: dict[str, list[float]] = {}
+        if obs.profile:
+            from repro.obs.profile import PhaseProfiler
+
+            self._prof = PhaseProfiler(self._ndim)
+        else:
+            self._prof = None
+        self._prof_t0 = None
+
+    def run(self, program):
+        if self._prof is not None:
+            self._prof_t0 = (time.perf_counter(), time.process_time())
+        return super().run(program)
 
     # -------------------------------------------------------------- #
     # lifecycle hooks (super() first, then read-only observation)
@@ -162,6 +177,13 @@ class _InstrumentedMixin:
             if rec is None:
                 rec = self._ls_phase_busy[ph] = [0.0] * self._ndim
             rec[d >> 1] += dur
+        if self._prof is not None:
+            self._prof.on_launch(
+                kind_of_tag(self._P_tag[h]) or "untagged",
+                d >> 1,
+                now_f,
+                dur,
+            )
 
     def _arbitrate_link(self, u: int, d: int) -> bool:
         launched = super()._arbitrate_link(u, d)
@@ -272,6 +294,12 @@ class _InstrumentedMixin:
                 kind_of_tag(tag),
                 final,
             )
+        if self._prof is not None:
+            self._prof.on_delivery(
+                kind_of_tag(tag) or "untagged",
+                self._now * TICK_UNSCALE,
+                final,
+            )
 
     def _on_retx(self, attempt: int, seq: int) -> None:
         ent = self._outstanding.get(seq)
@@ -296,6 +324,27 @@ class _InstrumentedMixin:
     def _result(self) -> SimulationResult:
         res = super()._result()
         payload: dict = {}
+        prof_payload = None
+        if self._prof is not None:
+            st = self.stats
+            wall = cpu = None
+            if self._prof_t0 is not None:
+                wall = time.perf_counter() - self._prof_t0[0]
+                cpu = time.process_time() - self._prof_t0[1]
+            prof_payload = self._prof.to_payload(
+                st.last_final_delivery, st.events_processed, wall, cpu
+            )
+            # Fold the exact (cycle-domain) numbers into the metrics
+            # registry too, *before* its snapshot below — one export
+            # surface for dashboards, without reparsing the payload.
+            if self.metrics is not None:
+                for name, e in prof_payload["phases"].items():
+                    self.metrics.counter(
+                        f"profile.busy_cycles.{name}"
+                    ).inc(e["busy_cycles"])
+                    self.metrics.counter(
+                        f"profile.launches.{name}"
+                    ).inc(e["launches"])
         if self.metrics is not None:
             snap = self.metrics.to_dict()
             # Derive per-axis utilization-over-time from the raw busy
@@ -354,6 +403,8 @@ class _InstrumentedMixin:
                 },
                 "injected_wire_bytes": st.injected_wire_bytes,
             }
+        if prof_payload is not None:
+            payload["profile"] = prof_payload
         if payload:
             res.extras["obs"] = payload
         return res

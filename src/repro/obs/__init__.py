@@ -19,6 +19,16 @@ classes carry no instrumentation and no branches):
   ``--report DIR``).  Import it as ``repro.obs.report`` — it pulls in
   no simulator code, but is kept out of this namespace so importing
   :mod:`repro.obs.config` stays featherweight for pool workers.
+* **Sweep telemetry** (:mod:`repro.obs.progress`) — the live status
+  line, worker-heartbeat display and single-writer stderr coordinator
+  the runner drives during a sweep.
+* **Phase profiler** (:mod:`repro.obs.profile`) — per-(phase, axis)
+  busy-cycle attribution with wall/CPU estimates and a Chrome-trace
+  span track (``ObsConfig(profile=True)`` / the CLI's ``--profile``).
+* **Run history** (:mod:`repro.obs.history`) — append-only JSONL store
+  of experiment/bench results with deterministic payload digests and
+  regression/improvement/neutral diff verdicts (``--history DIR`` /
+  ``python -m repro.obs.history``).
 
 Activation: pass an :class:`ObsConfig` to
 :func:`repro.api.simulate_alltoall` / :func:`repro.runner.run_points`,
@@ -37,6 +47,19 @@ from repro.obs.metrics import (
     MetricsRegistry,
     TimeSeries,
     aggregate_metrics,
+)
+from repro.obs.history import RunHistory, diff_records, format_diff
+from repro.obs.profile import (
+    PhaseProfiler,
+    merge_profiles,
+    profile_chrome_events,
+)
+from repro.obs.progress import (
+    SweepProgress,
+    coordinated_handler,
+    coordinator,
+    progress_wanted,
+    resolve_progress,
 )
 from repro.obs.provenance import (
     config_fingerprint,
@@ -66,6 +89,17 @@ __all__ = [
     "MetricsRegistry",
     "TimeSeries",
     "aggregate_metrics",
+    "RunHistory",
+    "diff_records",
+    "format_diff",
+    "PhaseProfiler",
+    "merge_profiles",
+    "profile_chrome_events",
+    "SweepProgress",
+    "coordinated_handler",
+    "coordinator",
+    "progress_wanted",
+    "resolve_progress",
     "config_fingerprint",
     "git_describe",
     "provenance_record",

@@ -50,6 +50,11 @@ class ObsConfig:
         busy cycles) and attach them to the result as
         ``extras["obs"]["link_stats"]`` for
         :mod:`repro.obs.linkstats` / :mod:`repro.obs.report`.
+    profile:
+        Run the phase-level time profiler
+        (:mod:`repro.obs.profile`): per-(phase, axis) busy cycles,
+        phase spans, and wall/CPU attribution estimates, attached as
+        ``extras["obs"]["profile"]``.
     """
 
     trace: bool = False
@@ -60,6 +65,7 @@ class ObsConfig:
     metrics_bucket_cycles: float = DEFAULT_BUCKET_CYCLES
     metrics_max_buckets: int = DEFAULT_MAX_BUCKETS
     link_stats: bool = False
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if self.trace_capacity < 1:
@@ -80,4 +86,6 @@ class ObsConfig:
     @property
     def enabled(self) -> bool:
         """Whether this config instruments the network at all."""
-        return self.trace or self.metrics or self.link_stats
+        return (
+            self.trace or self.metrics or self.link_stats or self.profile
+        )

@@ -37,7 +37,13 @@ def setup_logging(verbosity: int = 0, stream=None) -> logging.Logger:
     for h in list(logger.handlers):
         if getattr(h, "_repro_cli", False):
             logger.removeHandler(h)
-    handler = logging.StreamHandler(stream)
+    # Coordinated handler: writes share one lock with the sweep status
+    # line (repro.obs.progress), so a log record lifts the line out of
+    # its way instead of splicing into it.  Identical to a plain
+    # StreamHandler when no status line is active.
+    from repro.obs.progress import coordinated_handler
+
+    handler = coordinated_handler(stream)
     handler.setFormatter(fmt)
     handler._repro_cli = True  # type: ignore[attr-defined]
     logger.addHandler(handler)

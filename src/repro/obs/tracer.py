@@ -236,13 +236,19 @@ def chrome_events(
 
 
 def write_chrome_trace(
-    payloads: Union[dict, list], path: str, labels: Optional[list[str]] = None
+    payloads: Union[dict, list],
+    path: str,
+    labels: Optional[list[str]] = None,
+    extra_records: Optional[Iterable[dict]] = None,
 ) -> int:
     """Write one or many tracer payloads as a Perfetto-loadable trace.
 
     *payloads* is a single payload or a list (one per simulation point);
     node tracks of point *i* are namespaced into their own process-id
-    range.  Returns the number of trace records written.
+    range.  *extra_records* appends pre-built trace-event records (e.g.
+    the phase-profiler span track,
+    :func:`repro.obs.profile.profile_chrome_events`) into the same
+    document.  Returns the number of trace records written.
     """
     if isinstance(payloads, dict):
         payloads = [payloads]
@@ -257,6 +263,8 @@ def write_chrome_trace(
             f"point{i}" if len(payloads) > 1 else ""
         )
         records.extend(chrome_events(p, pid_base=i * stride, label=label))
+    if extra_records is not None:
+        records.extend(extra_records)
     doc = {"traceEvents": records, "displayTimeUnit": "ns"}
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(doc, fh, separators=(",", ":"))

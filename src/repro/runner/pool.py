@@ -48,6 +48,7 @@ from __future__ import annotations
 import logging
 import os
 from dataclasses import dataclass, field
+from types import SimpleNamespace
 from typing import Iterable, Optional, Sequence
 
 from repro.api import AllToAllRun, simulate_alltoall
@@ -86,6 +87,8 @@ class RunnerCounters:
     quarantined: int = 0
     journal_hits: int = 0
     journal_records: int = 0
+    #: Worker heartbeat records consumed by the parent (telemetry).
+    heartbeats: int = 0
     #: Simulated-time and event totals over freshly executed points.
     sim_cycles: float = 0.0
     sim_events: int = 0
@@ -110,6 +113,7 @@ class RunnerCounters:
         self.quarantined = 0
         self.journal_hits = 0
         self.journal_records = 0
+        self.heartbeats = 0
         self.sim_cycles = 0.0
         self.sim_events = 0
         self.point_keys = []
@@ -129,6 +133,7 @@ class RunnerCounters:
             "quarantined": self.quarantined,
             "journal_hits": self.journal_hits,
             "journal_records": self.journal_records,
+            "heartbeats": self.heartbeats,
             "sim_cycles": self.sim_cycles,
             "sim_events": self.sim_events,
             "point_keys": list(self.point_keys),
@@ -285,6 +290,17 @@ def run_sweep(
         " [supervised]" if (cfg.is_active or graceful) else "",
     )
 
+    # Live telemetry (status line / progress log lines + heartbeats).
+    # Imported lazily: pool workers import this module but never run a
+    # sweep themselves.
+    from repro.obs.progress import resolve_progress
+
+    progress = resolve_progress(len(points))
+    if progress is not None:
+        progress.begin(
+            total=len(points), cached=len(points) - len(misses), jobs=jobs
+        )
+
     journal: Optional[SweepJournal] = None
     failures = []
     try:
@@ -320,6 +336,26 @@ def run_sweep(
                         task.key, payload
                     ):
                         counters.journal_records += 1
+                if progress is not None:
+                    progress.complete(task)
+
+            def _on_event(kind: str, task) -> None:
+                _count_event(kind, task)
+                if progress is not None:
+                    progress.event(kind, task)
+
+            def _on_heartbeat(rec: dict) -> None:
+                counters.heartbeats += 1
+                if progress is not None:
+                    progress.heartbeat(rec)
+                if journal is not None:
+                    journal.note(dict(rec, kind="heartbeat"))
+
+            heartbeat = (
+                _on_heartbeat
+                if (progress is not None or journal is not None)
+                else None
+            )
 
             if jobs > 1 and len(todo) > 1:
                 fresh, failures = execute_supervised(
@@ -329,8 +365,9 @@ def run_sweep(
                     obs,
                     check,
                     on_complete=_on_complete,
-                    on_event=_count_event,
+                    on_event=_on_event,
                     strict_errors=not graceful,
+                    heartbeat=heartbeat,
                 )
             elif cfg.is_active or graceful:
                 fresh, failures = execute_supervised(
@@ -340,14 +377,18 @@ def run_sweep(
                     obs,
                     check,
                     on_complete=_on_complete,
-                    on_event=_count_event,
+                    on_event=_on_event,
                     strict_errors=not graceful,
+                    heartbeat=heartbeat,
                 )
             else:
                 # Plain sequential fast path: no supervision requested,
                 # zero overhead, exceptions propagate untouched.
                 fresh = {}
                 for i, point, key, label in todo:
+                    shim = SimpleNamespace(key=key, label=label, attempt=1)
+                    if progress is not None:
+                        progress.event("start", shim)
                     payload = _simulate_encoded(point, obs, check)
                     counters.simulated += 1
                     result = payload["result"]
@@ -357,10 +398,14 @@ def run_sweep(
                         if cache_put(key, payload):
                             counters.cache_stores += 1
                     fresh[i] = payload
+                    if progress is not None:
+                        progress.complete(shim)
                 failures = []
             for i, payload in fresh.items():
                 payloads[i] = payload
     finally:
+        if progress is not None:
+            progress.finish()
         if journal is not None:
             journal.close()
 

@@ -278,6 +278,10 @@ class SuperviseConfig:
     journal: Optional[Path] = None
     resume: Optional[Path] = None
     chaos: Optional[ChaosPlan] = None
+    #: Seconds between worker heartbeats (``REPRO_HEARTBEAT``; 0 turns
+    #: them off).  Deliberately *not* part of :attr:`is_active` — a
+    #: heartbeat cadence alone shouldn't push a sweep off the fast path.
+    heartbeat_s: float = 5.0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -288,6 +292,8 @@ class SuperviseConfig:
             raise ValueError("backoff must be >= 0 with factor >= 1")
         if self.point_timeout_s is not None and self.point_timeout_s <= 0:
             raise ValueError("point_timeout_s must be positive")
+        if self.heartbeat_s < 0:
+            raise ValueError("heartbeat_s must be >= 0")
         if self.journal is not None:
             self.journal = Path(self.journal)
         if self.resume is not None:
@@ -332,6 +338,14 @@ class SuperviseConfig:
         env_c = os.environ.get("REPRO_CHAOS", "").strip()
         if env_c:
             kw["chaos"] = ChaosPlan.parse(env_c)
+        env_h = os.environ.get("REPRO_HEARTBEAT", "").strip()
+        if env_h:
+            try:
+                kw["heartbeat_s"] = float(env_h)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_HEARTBEAT must be seconds, got {env_h!r}"
+                ) from None
         kw.update(overrides)
         return cls(**kw)
 
@@ -448,12 +462,20 @@ class SweepJournal:
     construction.  Records are flushed per line: anything short of the
     host dying leaves a loadable prefix (a torn final line from a
     SIGKILL is detected and skipped on load).
+
+    Besides point checkpoints the journal accepts auxiliary telemetry
+    records via :meth:`note` (worker heartbeats, see
+    :mod:`repro.obs.progress`); :meth:`load` ignores them — they are
+    diagnostics for a human reading the journal of a dead sweep, not
+    resume state.  Writes are serialized by a lock: heartbeats arrive
+    from a sampler thread while completions land on the main thread.
     """
 
     def __init__(self, path) -> None:
         self.path = Path(path)
         self._fh = None
         self._keys: set[str] = set()
+        self._lock = threading.Lock()
 
     # -- writing ---------------------------------------------------- #
 
@@ -491,26 +513,48 @@ class SweepJournal:
     def record(self, key: str, payload: dict) -> bool:
         """Append one completed point (idempotent per key); returns
         whether a line was written."""
-        if self._fh is None or key in self._keys:
-            return False
-        self._fh.write(
-            json.dumps(
-                {"kind": "point", "key": key, "payload": payload},
-                separators=(",", ":"),
+        with self._lock:
+            if self._fh is None or key in self._keys:
+                return False
+            self._fh.write(
+                json.dumps(
+                    {"kind": "point", "key": key, "payload": payload},
+                    separators=(",", ":"),
+                )
+                + "\n"
             )
-            + "\n"
-        )
-        self._fh.flush()
-        self._keys.add(key)
-        return True
+            self._fh.flush()
+            self._keys.add(key)
+            return True
+
+    def note(self, record: dict) -> bool:
+        """Append one auxiliary record (e.g. ``kind="heartbeat"``).
+
+        Best-effort diagnostics: non-JSON-encodable records are dropped
+        with a warning rather than killing the sweep.
+        """
+        with self._lock:
+            if self._fh is None:
+                return False
+            try:
+                line = json.dumps(record, separators=(",", ":"))
+            except (TypeError, ValueError):
+                _log.warning(
+                    "journal %s: dropping non-JSON note %r", self.path, record
+                )
+                return False
+            self._fh.write(line + "\n")
+            self._fh.flush()
+            return True
 
     def close(self) -> None:
-        if self._fh is not None:
-            try:
-                self._fh.flush()
-                self._fh.close()
-            finally:
-                self._fh = None
+        with self._lock:
+            if self._fh is not None:
+                try:
+                    self._fh.flush()
+                    self._fh.close()
+                finally:
+                    self._fh = None
 
     def __enter__(self) -> "SweepJournal":
         return self.open_append()
@@ -565,6 +609,9 @@ class SweepJournal:
                             path,
                             lineno,
                         )
+                elif kind == "heartbeat":
+                    # Telemetry breadcrumbs, not resume state.
+                    continue
                 else:
                     _log.warning(
                         "journal %s: skipping unknown record kind %r "
@@ -574,6 +621,89 @@ class SweepJournal:
                         lineno,
                     )
         return entries
+
+
+# --------------------------------------------------------------------- #
+# worker heartbeats
+# --------------------------------------------------------------------- #
+
+#: Per-worker heartbeat plumbing, set once by the pool initializer
+#: (:func:`_hb_init`).  Pool workers inherit the queue through the
+#: fork/spawn machinery; the sequential path passes an emit callable to
+#: :func:`_worker_entry` directly instead.
+_HB: dict = {"emit": None, "interval": 0.0}
+
+
+def _hb_init(queue, interval: float) -> None:
+    """``ProcessPoolExecutor`` initializer: arm heartbeats in a worker."""
+    _HB["emit"] = queue.put_nowait
+    _HB["interval"] = interval
+
+
+def _heartbeat_record(key: str, label: str, attempt: int, t0: float) -> dict:
+    rec = {
+        "key": key,
+        "label": label,
+        "attempt": attempt,
+        "elapsed_s": round(time.monotonic() - t0, 3),
+        "pid": os.getpid(),
+        "sim_cycles": None,
+        "delivered": None,
+    }
+    try:
+        from repro.net.simulator import live_progress
+
+        live = live_progress()
+        if live is not None:
+            rec["sim_cycles"], rec["delivered"] = live
+    except Exception:  # pragma: no cover - telemetry must never break a run
+        pass
+    return rec
+
+
+@contextlib.contextmanager
+def _heartbeats(
+    key: str,
+    label: str,
+    attempt: int,
+    emit: Optional[Callable],
+    interval: float,
+) -> Iterator[None]:
+    """Emit heartbeat records while the wrapped attempt runs.
+
+    One record goes out immediately (so even sub-second points leave a
+    breadcrumb), then one per *interval* from a daemon sampler thread.
+    The thread only ever *reads* simulator state
+    (:func:`repro.net.simulator.live_progress`), so the simulation
+    itself is unperturbed; emit failures (parent gone, queue full) are
+    swallowed — telemetry must never take down the point it watches.
+    """
+    if emit is None or interval <= 0:
+        yield
+        return
+    t0 = time.monotonic()
+    stop = threading.Event()
+
+    def _send() -> None:
+        try:
+            emit(_heartbeat_record(key, label, attempt, t0))
+        except Exception:
+            pass
+
+    def _pulse() -> None:
+        while not stop.wait(interval):
+            _send()
+
+    _send()
+    thread = threading.Thread(
+        target=_pulse, name=f"heartbeat:{label}", daemon=True
+    )
+    thread.start()
+    try:
+        yield
+    finally:
+        stop.set()
+        thread.join(timeout=1.0)
 
 
 # --------------------------------------------------------------------- #
@@ -590,30 +720,39 @@ def _worker_entry(
     obs,
     check,
     in_pool: bool,
+    hb_emit: Optional[Callable] = None,
+    hb_interval: float = 0.0,
 ) -> dict:
     """One supervised attempt: chaos, watchdog, simulate, encode.
 
     Runs in a pool worker (``in_pool=True``) or inline in the parent for
     sequential sweeps.  The watchdog arms *before* chaos so an injected
-    hang is caught exactly like a real one.
+    hang is caught exactly like a real one.  Heartbeats come from the
+    pool initializer's queue (pooled) or the explicit ``hb_emit``
+    callable (sequential) and cover chaos hangs too — a stalled worker
+    is visible from its flatlining ``sim_cycles``.
     """
     from repro.runner.pool import _simulate_encoded, point_label
 
+    if in_pool and hb_emit is None:
+        hb_emit = _HB["emit"]
+        hb_interval = _HB["interval"]
     label = point_label(point)
     with watchdog(timeout_s, f"point {label} (attempt {attempt})"):
-        if chaos is not None and chaos.enabled:
-            fate = chaos.decide(key, attempt)
-            if fate == "kill":
-                if in_pool:
-                    # A hard worker death: the parent sees
-                    # BrokenProcessPool, exactly like an OOM kill.
-                    os._exit(42)
-                raise ChaosKilled(
-                    f"chaos killed point {label} (attempt {attempt})"
-                )
-            if fate == "hang":
-                time.sleep(chaos.hang_s)
-        return _simulate_encoded(point, obs, check)
+        with _heartbeats(key, label, attempt, hb_emit, hb_interval):
+            if chaos is not None and chaos.enabled:
+                fate = chaos.decide(key, attempt)
+                if fate == "kill":
+                    if in_pool:
+                        # A hard worker death: the parent sees
+                        # BrokenProcessPool, exactly like an OOM kill.
+                        os._exit(42)
+                    raise ChaosKilled(
+                        f"chaos killed point {label} (attempt {attempt})"
+                    )
+                if fate == "hang":
+                    time.sleep(chaos.hang_s)
+            return _simulate_encoded(point, obs, check)
 
 
 # --------------------------------------------------------------------- #
@@ -656,6 +795,7 @@ class _Supervisor:
         on_complete: Optional[Callable] = None,
         on_event: Optional[Callable] = None,
         strict_errors: bool = True,
+        heartbeat: Optional[Callable] = None,
     ) -> None:
         self.cfg = cfg
         self.obs = obs
@@ -663,8 +803,34 @@ class _Supervisor:
         self.on_complete = on_complete
         self.on_event = on_event or (lambda kind, task: None)
         self.strict_errors = strict_errors
+        self.heartbeat = heartbeat
         self.payloads: dict[int, dict] = {}
         self.failures: list[PointFailure] = []
+        self._hb_queue = None
+
+    # -- heartbeat plumbing ----------------------------------------- #
+
+    def _hb_consume(self, rec: dict) -> None:
+        """Hand one heartbeat to the consumer; never let it kill the
+        sweep (the consumer renders UI and journals diagnostics)."""
+        if self.heartbeat is None:
+            return
+        try:
+            self.heartbeat(rec)
+        except Exception:
+            _log.debug("heartbeat consumer failed", exc_info=True)
+
+    def _drain_heartbeats(self) -> None:
+        q = self._hb_queue
+        if q is None:
+            return
+        while True:
+            try:
+                rec = q.get_nowait()
+            except Exception:
+                # queue.Empty normally; OSError/ValueError mid-teardown.
+                break
+            self._hb_consume(rec)
 
     # -- shared outcome handlers ------------------------------------ #
 
@@ -749,12 +915,18 @@ class _Supervisor:
     # -- sequential path -------------------------------------------- #
 
     def run_sequential(self, tasks: list) -> None:
+        hb_emit = (
+            self._hb_consume
+            if self.heartbeat is not None and self.cfg.heartbeat_s > 0
+            else None
+        )
         queue = deque(tasks)
         while queue:
             task = queue.popleft()
             delay = task.not_before - time.monotonic()
             if delay > 0:
                 time.sleep(delay)
+            self.on_event("start", task)
             try:
                 payload = _worker_entry(
                     task.point,
@@ -765,6 +937,8 @@ class _Supervisor:
                     self.obs,
                     self.check,
                     in_pool=False,
+                    hb_emit=hb_emit,
+                    hb_interval=self.cfg.heartbeat_s,
                 )
             except PointTimeoutError as exc:
                 again = self._retry_or_fail(
@@ -785,9 +959,24 @@ class _Supervisor:
 
     # -- pooled path ------------------------------------------------ #
 
+    def _spawn_pool(self, max_workers: int) -> ProcessPoolExecutor:
+        """A worker pool, with heartbeats armed when a consumer wants
+        them (the queue rides into workers via the pool initializer)."""
+        if self._hb_queue is not None:
+            return ProcessPoolExecutor(
+                max_workers=max_workers,
+                initializer=_hb_init,
+                initargs=(self._hb_queue, self.cfg.heartbeat_s),
+            )
+        return ProcessPoolExecutor(max_workers=max_workers)
+
     def run_pooled(self, tasks: list, jobs: int) -> None:
         max_workers = min(jobs, len(tasks))
-        pool = ProcessPoolExecutor(max_workers=max_workers)
+        if self.heartbeat is not None and self.cfg.heartbeat_s > 0:
+            import multiprocessing as mp
+
+            self._hb_queue = mp.Queue()
+        pool = self._spawn_pool(max_workers)
         ready: deque = deque(tasks)
         waiting: list = []
         in_flight: dict = {}
@@ -832,6 +1021,7 @@ class _Supervisor:
                     else:
                         task.deadline = float("inf")
                     in_flight[future] = task
+                    self.on_event("start", task)
                 if not in_flight:
                     if waiting:
                         pause = min(t.not_before for t in waiting) - now
@@ -847,6 +1037,7 @@ class _Supervisor:
                     timeout=wait_s,
                     return_when=FIRST_COMPLETED,
                 )
+                self._drain_heartbeats()
                 now = time.monotonic()
                 if not done:
                     overdue = [
@@ -893,8 +1084,20 @@ class _Supervisor:
         except BaseException:
             _kill_pool_workers(pool)
             pool.shutdown(wait=False, cancel_futures=True)
+            self._close_hb_queue()
             raise
         pool.shutdown(wait=True, cancel_futures=True)
+        self._drain_heartbeats()
+        self._close_hb_queue()
+
+    def _close_hb_queue(self) -> None:
+        q, self._hb_queue = self._hb_queue, None
+        if q is not None:
+            try:
+                q.close()
+                q.join_thread()
+            except (OSError, ValueError):  # pragma: no cover
+                pass
 
     def _recover_pool_break(
         self, pool, in_flight: dict, waiting: list, max_workers: int
@@ -906,6 +1109,7 @@ class _Supervisor:
             "worker pool broke with %d point(s) in flight; respawning",
             len(in_flight),
         )
+        self._drain_heartbeats()
         now = time.monotonic()
         # A pool break takes down *every* in-flight future, culprit and
         # bystander alike.  For real crashes (OOM, segfault) the parent
@@ -968,7 +1172,7 @@ class _Supervisor:
                 waiting.append(again)
         in_flight.clear()
         pool.shutdown(wait=False, cancel_futures=True)
-        return ProcessPoolExecutor(max_workers=max_workers)
+        return self._spawn_pool(max_workers)
 
 
 def _kill_pool_workers(pool) -> None:
@@ -990,16 +1194,19 @@ def execute_supervised(
     on_complete: Optional[Callable] = None,
     on_event: Optional[Callable] = None,
     strict_errors: bool = True,
+    heartbeat: Optional[Callable] = None,
 ) -> tuple[dict, list]:
     """Run ``(index, point, key, label)`` items under supervision.
 
     Returns ``(payloads_by_index, failures)``.  ``on_complete(task,
     payload)`` fires as each point lands (journal/cache/counters hook);
-    ``on_event(kind, task)`` fires on retry/timeout/crash/pool_break/
-    quarantined/failed transitions (counters hook).  With
-    ``strict_errors`` deterministic simulation errors re-raise
-    immediately (the historical contract); otherwise they become
-    structured failures like everything else.
+    ``on_event(kind, task)`` fires on start/retry/timeout/crash/
+    pool_break/quarantined/failed transitions (counters + progress
+    hook); ``heartbeat(record)`` receives worker heartbeat dicts on the
+    parent's thread (pooled) or the sampler thread (sequential) when
+    ``cfg.heartbeat_s > 0``.  With ``strict_errors`` deterministic
+    simulation errors re-raise immediately (the historical contract);
+    otherwise they become structured failures like everything else.
     """
     sup = _Supervisor(
         cfg,
@@ -1008,6 +1215,7 @@ def execute_supervised(
         on_complete=on_complete,
         on_event=on_event,
         strict_errors=strict_errors,
+        heartbeat=heartbeat,
     )
     tasks = [
         _Task(

@@ -1,0 +1,307 @@
+"""Live sweep telemetry: coordinator, renderer, heartbeats (DESIGN.md §15).
+
+The non-negotiables: a non-TTY stream never sees ANSI control sequences
+(CI logs stay clean), the status line and log records share one stream
+without shredding each other, and the renderer's summary arithmetic
+(done counts, cache split, EWMA ETA, stale-heartbeat callout) is right.
+"""
+
+from __future__ import annotations
+
+import io
+import logging
+import os
+
+import pytest
+
+from repro.net.topology import TorusShape
+from repro.obs.progress import (
+    STALE_AFTER_S,
+    CoordinatedStreamHandler,
+    OutputCoordinator,
+    SweepProgress,
+    coordinated_handler,
+    coordinator,
+    progress_wanted,
+    resolve_progress,
+)
+from repro.runner import SimPoint, counters, run_points
+from repro.strategies import ARDirect
+
+
+class TtyStringIO(io.StringIO):
+    """A capture stream that claims to be a terminal."""
+
+    def isatty(self) -> bool:
+        return True
+
+
+class Task:
+    def __init__(self, key: str, label: str = "", attempt: int = 1):
+        self.key = key
+        self.label = label or key
+        self.attempt = attempt
+
+
+@pytest.fixture(autouse=True)
+def _clean_coordinator():
+    yield
+    coordinator.end_status()
+
+
+@pytest.fixture(autouse=True)
+def _pristine_repro_logger():
+    """CLI tests elsewhere in the suite call setup_logging(), which parks
+    a handler on the ``repro`` logger and stops propagation.  Left alone,
+    that starves caplog and replays records into the (now closed) capture
+    stream of whichever test installed it.  Run with a bare, propagating
+    logger and put everything back afterwards."""
+    logger = logging.getLogger("repro")
+    saved_handlers = logger.handlers[:]
+    saved_propagate = logger.propagate
+    for h in saved_handlers:
+        logger.removeHandler(h)
+    logger.propagate = True
+    try:
+        yield
+    finally:
+        for h in logger.handlers[:]:
+            logger.removeHandler(h)
+        for h in saved_handlers:
+            logger.addHandler(h)
+        logger.propagate = saved_propagate
+
+
+@pytest.fixture(autouse=True)
+def _isolated(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    monkeypatch.delenv("REPRO_PROGRESS", raising=False)
+    counters.reset()
+
+
+class TestOutputCoordinator:
+    def test_non_tty_stream_never_sees_ansi(self):
+        co = OutputCoordinator()
+        plain = io.StringIO()
+        assert co.begin_status(plain) is False
+        # A renderer honoring the False return never calls set_status;
+        # log records pass straight through, byte for byte.
+        co.log_write(plain, "hello\n")
+        co.end_status()
+        assert plain.getvalue() == "hello\n"
+        assert "\x1b" not in plain.getvalue()
+
+    def test_tty_status_line_paints_and_erases(self):
+        co = OutputCoordinator()
+        tty = TtyStringIO()
+        assert co.begin_status(tty) is True
+        co.set_status("sweep 1/4 done")
+        assert tty.getvalue().endswith("\r\x1b[2Ksweep 1/4 done")
+        co.end_status()
+        assert tty.getvalue().endswith("\r\x1b[2K")  # line erased
+
+    def test_log_record_lifts_status_out_of_the_way(self):
+        co = OutputCoordinator()
+        tty = TtyStringIO()
+        co.begin_status(tty)
+        co.set_status("STATUS")
+        co.log_write(tty, "a log record\n")
+        out = tty.getvalue()
+        # erase -> record -> repaint: the record sits on its own line
+        # and the status line survives it.
+        assert "\r\x1b[2Ka log record\n" in out
+        assert out.endswith("\r\x1b[2KSTATUS")
+        co.end_status()
+
+    def test_status_truncated_to_terminal_width(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.obs.progress.shutil.get_terminal_size",
+            lambda fallback=None: os.terminal_size((30, 24)),
+        )
+        co = OutputCoordinator()
+        tty = TtyStringIO()
+        co.begin_status(tty)
+        co.set_status("x" * 100)
+        assert tty.getvalue().endswith("\r\x1b[2K" + "x" * 29)
+        co.end_status()
+
+    def test_closed_stream_is_swallowed(self):
+        co = OutputCoordinator()
+        tty = TtyStringIO()
+        co.begin_status(tty)
+        tty.close()
+        co.set_status("late")  # must not raise during teardown
+        co.end_status()
+
+
+class TestCoordinatedHandler:
+    def test_handler_routes_through_coordinator(self):
+        stream = TtyStringIO()
+        handler = coordinated_handler(stream)
+        assert isinstance(handler, CoordinatedStreamHandler)
+        logger = logging.Logger("test.coordinated")
+        logger.addHandler(handler)
+        coordinator.begin_status(stream)
+        coordinator.set_status("STATUS")
+        logger.warning("a warning")
+        out = stream.getvalue()
+        assert "a warning" in out
+        assert out.endswith("\r\x1b[2KSTATUS")  # status redrawn after
+        coordinator.end_status()
+
+
+class TestSweepProgress:
+    def _progress(self, stream=None) -> SweepProgress:
+        p = SweepProgress(
+            stream=stream or TtyStringIO(), render_interval_s=0.0
+        )
+        p.begin(total=4, cached=1, jobs=2)
+        return p
+
+    def test_summary_counts(self):
+        p = self._progress()
+        p.event("start", Task("a"))
+        p.event("start", Task("b"))
+        p.complete(Task("a"))
+        s = p._summary_locked()
+        assert "2/4 done" in s  # 1 cached + 1 completed
+        assert "1 running" in s
+        assert "cache 1/4 (25%)" in s
+        p.finish()
+
+    def test_failed_and_retrying_show_up(self):
+        p = self._progress()
+        p.event("start", Task("a"))
+        p.event("retry", Task("a"))
+        p.event("start", Task("b"))
+        p.event("failed", Task("b"))
+        s = p._summary_locked()
+        assert "1 retrying" in s
+        assert "1 failed" in s
+        assert "1 retries" in s
+        p.finish()
+
+    def test_eta_from_ewma(self):
+        p = self._progress()
+        p.event("start", Task("a"))
+        p.complete(Task("a"))
+        p._ewma_s = 10.0  # pin the smoothed duration for determinism
+        p.event("start", Task("b"))
+        s = p._summary_locked()
+        # 2 points remain (4 total - 1 cached - 1 done) at 10s each over
+        # 2 workers -> 10s.
+        assert "eta 0:10" in s
+        p.finish()
+
+    def test_stale_heartbeat_called_out(self):
+        p = self._progress()
+        p.event("start", Task("k", label="8x8x8/m64"))
+        p.heartbeat(
+            {
+                "key": "k",
+                "label": "8x8x8/m64",
+                "elapsed_s": STALE_AFTER_S + 5.0,
+                "sim_cycles": 1234.5,
+            }
+        )
+        s = p._summary_locked()
+        assert "slowest 8x8x8/m64 10s" in s
+        assert "@ 1.23e+03 cycles" in s
+        assert p.heartbeats == 1
+        p.finish()
+
+    def test_fresh_heartbeat_not_called_out(self):
+        p = self._progress()
+        p.event("start", Task("k"))
+        p.heartbeat({"key": "k", "elapsed_s": 0.1, "sim_cycles": 1.0})
+        assert "slowest" not in p._summary_locked()
+        p.finish()
+
+    def test_pool_break_clears_in_flight_state(self):
+        p = self._progress()
+        p.event("start", Task("a"))
+        p.heartbeat({"key": "a", "elapsed_s": 99.0})
+        p.event("pool_break", Task("a"))
+        s = p._summary_locked()
+        assert "running" not in s and "slowest" not in s
+        p.finish()
+
+    def test_tty_renders_status_line(self):
+        tty = TtyStringIO()
+        p = self._progress(stream=tty)
+        p.event("start", Task("a"))
+        assert "sweep 1/4 done" in tty.getvalue()
+        p.finish()
+        assert tty.getvalue().endswith("\r\x1b[2K")
+
+    def test_non_tty_logs_instead_of_painting(self, caplog):
+        plain = io.StringIO()
+        with caplog.at_level(logging.INFO, logger="repro.obs.progress"):
+            p = SweepProgress(stream=plain)
+            p.begin(total=2, cached=0, jobs=1)
+            p.finish()
+        assert "\x1b" not in plain.getvalue()
+        messages = [r.getMessage() for r in caplog.records]
+        assert any(m.startswith("sweep progress:") for m in messages)
+        assert any(m.startswith("sweep finished:") for m in messages)
+
+
+class TestActivation:
+    def test_env_override_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROGRESS", "0")
+        assert progress_wanted() is False
+        monkeypatch.setenv("REPRO_PROGRESS", "1")
+        assert progress_wanted() is True
+
+    def test_default_follows_repro_logger_level(self, monkeypatch):
+        logger = logging.getLogger("repro")
+        old = logger.level
+        try:
+            logger.setLevel(logging.ERROR)  # --quiet
+            assert progress_wanted() is False
+            logger.setLevel(logging.INFO)
+            assert progress_wanted() is True
+        finally:
+            logger.setLevel(old)
+
+    def test_resolve_progress_gates(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROGRESS", "1")
+        assert resolve_progress(0) is None  # nothing to watch
+        assert isinstance(resolve_progress(3), SweepProgress)
+        monkeypatch.setenv("REPRO_PROGRESS", "0")
+        assert resolve_progress(3) is None
+
+
+class TestSweepIntegration:
+    def test_run_points_drives_the_renderer(self, monkeypatch, caplog):
+        monkeypatch.setenv("REPRO_PROGRESS", "1")
+        shape = TorusShape.parse("2x2x2")
+        pts = [SimPoint(ARDirect(), shape, m, seed=1) for m in (32, 64)]
+        with caplog.at_level(logging.INFO, logger="repro.obs.progress"):
+            run_points(pts)
+        messages = [r.getMessage() for r in caplog.records]
+        finished = [m for m in messages if m.startswith("sweep finished:")]
+        assert finished and "2/2 done" in finished[0]
+
+    def test_supervised_sweep_emits_heartbeats(self, monkeypatch):
+        from repro.runner.pool import run_sweep
+
+        monkeypatch.setenv("REPRO_PROGRESS", "1")
+        shape = TorusShape.parse("2x2x2")
+        pts = [SimPoint(ARDirect(), shape, m, seed=1) for m in (32, 64)]
+        sweep = run_sweep(pts)  # graceful => supervised sequential path
+        assert sweep.failures == []
+        # Every supervised attempt emits one heartbeat immediately.
+        assert counters.heartbeats >= 2
+
+    def test_progress_off_is_silent(self, monkeypatch, caplog):
+        monkeypatch.setenv("REPRO_PROGRESS", "0")
+        shape = TorusShape.parse("2x2x2")
+        pts = [SimPoint(ARDirect(), shape, 32, seed=1)]
+        with caplog.at_level(logging.INFO, logger="repro.obs.progress"):
+            run_points(pts)
+        assert not [
+            r for r in caplog.records if r.name == "repro.obs.progress"
+        ]

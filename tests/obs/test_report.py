@@ -145,6 +145,102 @@ class TestWriteReport:
             write_report(tmp_path / "bad", bad, title="t")
 
 
+class TestDegenerateInputs:
+    """An empty or fully-failed sweep must still produce valid files —
+    the report is exactly what a human reaches for when a run went
+    sideways, so it may never crash on a degenerate input."""
+
+    def test_empty_sweep_renders_valid_report(self, tmp_path):
+        html_path, json_path = map(
+            Path, write_report(tmp_path / "empty", [], [], title="empty")
+        )
+        html = html_path.read_text()
+        assert html.startswith("<!DOCTYPE html>") and html.endswith(
+            "</body></html>"
+        )
+        side = json.loads(json_path.read_text())
+        assert side["points"] == [] and side["experiments"] == []
+        json.dumps(side, allow_nan=False)
+
+    def test_all_failed_experiment_renders_valid_report(self, tmp_path):
+        res = ExperimentResult(
+            exp_id="fig1_ar_midplane",
+            title="AR direct on a midplane",
+            columns=["m bytes", "measured us"],
+        )
+        res.rows = []  # every point failed; nothing measured
+        res.failures = [
+            {"kind": "timeout", "key": "k1", "label": "8x8x8/m64"},
+            {"kind": "crash", "key": "k2", "label": "8x8x8/m256"},
+        ]
+        res.notes.append("INCOMPLETE: 2 point(s) failed")
+        html_path, json_path = map(
+            Path, write_report(tmp_path / "failed", [], [res], title="t")
+        )
+        html = html_path.read_text()
+        assert "INCOMPLETE: 2 point(s)" in html
+        assert "timeout" in html
+        side = json.loads(json_path.read_text())
+        assert side["experiments"][0]["rows"] == []
+        assert len(side["experiments"][0]["failures"]) == 2
+
+    def test_entry_without_link_stats_is_listed(self, tmp_path):
+        entries = [{"point": "ARDirect/4x4x2/m64/s1"}]  # no analytics
+        html_path, json_path = map(
+            Path, write_report(tmp_path / "bare", entries, title="t")
+        )
+        html = html_path.read_text()
+        assert "ARDirect/4x4x2/m64/s1" in html
+        assert "No link-stats payload" in html
+        side = json.loads(json_path.read_text())
+        assert "summary" not in side["points"][0]
+
+
+class TestTrends:
+    def _history(self, tmp_path, n=3) -> str:
+        from repro.obs.history import RunHistory
+
+        store = RunHistory(tmp_path / "hist")
+        for i in range(n):
+            res = _experiment()
+            res.provenance = dict(
+                res.provenance, scale="test", wall_s=0.5 + i
+            )
+            store.append_experiment(res)
+        return str(store.path)
+
+    def test_history_feeds_sparkline_trend_section(self, tmp_path):
+        hist = self._history(tmp_path)
+        side = build_sidecar(
+            [], [_experiment()], title="t", history=hist
+        )
+        samples = side["trends"]["fig1_ar_midplane"]
+        assert len(samples) == 3
+        assert [s["wall_s"] for s in samples] == [0.5, 1.5, 2.5]
+        html = render_html(side)
+        assert "Trend: 3 recorded runs" in html
+        assert "<polyline" in html  # the sparkline itself
+
+    def test_single_record_has_no_trend_section(self, tmp_path):
+        hist = self._history(tmp_path, n=1)
+        side = build_sidecar([], [_experiment()], title="t", history=hist)
+        assert "Trend:" not in render_html(side)
+
+    def test_missing_store_is_tolerated(self, tmp_path):
+        side = build_sidecar(
+            [],
+            [_experiment()],
+            title="t",
+            history=str(tmp_path / "nowhere"),
+        )
+        assert side["trends"] == {}
+        render_html(side)
+
+    def test_no_history_means_no_trends(self):
+        side = build_sidecar([], [_experiment()], title="t")
+        assert side["trends"] == {}
+
+
 class TestCliIntegration:
     def test_cli_report_flag_writes_report(self, tmp_path, capsys):
         from repro.experiments.cli import main
